@@ -1,0 +1,75 @@
+"""Shared workload builders and reporting helpers for the benchmarks.
+
+Every experiment row of DESIGN.md §3 has one file here.  Benchmarks both
+*assert* the paper's qualitative claims (who wins, in which direction)
+and *print* the measured series, so `pytest benchmarks/ --benchmark-only`
+regenerates the numbers recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, Mediator, RelationalWrapper, StatsRegistry
+from repro.sources import SourceCatalog
+
+#: Fig. 3 (Q1), phrased against the wrapper documents.
+VIEW_QUERY = """
+FOR $C IN source(root1)/customer
+    $O IN document(root2)/order
+WHERE $C/id/data() = $O/cid/data()
+RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}
+"""
+
+#: Fig. 12, phrased from the view root.
+COMPOSE_QUERY_TEMPLATE = """
+FOR $R IN document(root)/CustRec
+    $S IN $R/OrderInfo
+WHERE $S/order/value/data() > {threshold}
+RETURN $R
+"""
+
+
+def build_workload(n_customers, orders_per_customer, value_step=100):
+    """A customers/orders instance; returns (stats, wrapper).
+
+    Order values are ``value_step * (j+1)`` for ``j`` in
+    ``range(orders_per_customer)`` (the workload package's "ladder"
+    mode), so value thresholds have exact, computable selectivities.
+    """
+    from repro.workloads import build_customers_orders
+
+    built = build_customers_orders(
+        n_customers=n_customers,
+        orders_per_customer=orders_per_customer,
+        value_mode="ladder",
+        value_step=value_step,
+    )
+    return built.stats, built.wrapper
+
+
+def build_mediator(n_customers, orders_per_customer, **mediator_kwargs):
+    """(stats, mediator) over a fresh scaled workload."""
+    stats, wrapper = build_workload(n_customers, orders_per_customer)
+    mediator = Mediator(stats=stats, **mediator_kwargs).add_source(wrapper)
+    return stats, mediator
+
+
+def build_catalog(n_customers, orders_per_customer):
+    stats, wrapper = build_workload(n_customers, orders_per_customer)
+    return stats, SourceCatalog().register(wrapper)
+
+
+def print_series(title, header, rows):
+    """Print one experiment's series in a fixed-width table."""
+    print()
+    print("== {} ==".format(title))
+    widths = [max(len(str(h)), 12) for h in header]
+    print("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(v).rjust(w) for v, w in zip(row, widths)))
+
+
+@pytest.fixture
+def series_printer():
+    return print_series

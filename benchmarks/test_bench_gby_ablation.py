@@ -1,0 +1,79 @@
+"""Ablation: the Table-1 presorted gBy inside the full pipeline.
+
+DESIGN.md calls out the presorted stateless gBy as a design choice:
+without it (``force_stateful_gby=True``), opening the first result of a
+grouped view forces the group-by to buffer the *entire* source stream,
+destroying the navigation-driven property even though the SQL carries
+the right ORDER BY.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import stats as statnames
+from repro.algebra.translator import translate_query
+from repro.engine.lazy import LazyEngine
+from repro.engine.vtree import VNode
+from repro.rewriter import push_to_sources
+from benchmarks.conftest import VIEW_QUERY, build_workload, print_series
+from repro.sources import SourceCatalog
+
+N_CUSTOMERS = 300
+ORDERS_PER = 6
+
+
+def first_result_traffic(force_stateful):
+    stats, wrapper = build_workload(N_CUSTOMERS, ORDERS_PER)
+    catalog = SourceCatalog().register(wrapper)
+    plan = push_to_sources(
+        translate_query(VIEW_QUERY, root_oid="v"), catalog
+    )
+    engine = LazyEngine(
+        catalog, stats=stats, force_stateful_gby=force_stateful
+    )
+    root = VNode.root(engine.evaluate_tree(plan))
+    node = root.down()
+    assert node is not None
+    return stats
+
+
+def test_presorted_gby_preserves_navigation_laziness():
+    presorted = first_result_traffic(force_stateful=False)
+    stateful = first_result_traffic(force_stateful=True)
+    rows = [
+        (
+            "presorted (Table 1)",
+            presorted.get(statnames.TUPLES_SHIPPED),
+            presorted.get(statnames.BUFFERED_TUPLES),
+        ),
+        (
+            "forced stateful",
+            stateful.get(statnames.TUPLES_SHIPPED),
+            stateful.get(statnames.BUFFERED_TUPLES),
+        ),
+    ]
+    print_series(
+        "E-GBY-NAV: cost of d() on the grouped view "
+        "({} customers x {} orders)".format(N_CUSTOMERS, ORDERS_PER),
+        ("gBy implementation", "tuples shipped", "tuples buffered"),
+        rows,
+    )
+    # Table 1 pays one tuple; the ablation pays the whole join.
+    assert presorted.get(statnames.TUPLES_SHIPPED) <= 2
+    assert (
+        stateful.get(statnames.TUPLES_SHIPPED)
+        == N_CUSTOMERS * ORDERS_PER
+    )
+    assert presorted.get(statnames.BUFFERED_TUPLES) == 0
+    assert stateful.get(statnames.BUFFERED_TUPLES) > 0
+
+
+@pytest.mark.parametrize(
+    "force_stateful", [False, True], ids=["presorted", "stateful"]
+)
+def test_bench_first_result(benchmark, force_stateful):
+    def run():
+        return first_result_traffic(force_stateful)
+
+    benchmark(run)

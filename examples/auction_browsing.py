@@ -1,0 +1,131 @@
+"""The paper's motivating scenario: browsing an auction site (Section 1).
+
+"Consider an electronic customer of the photo equipment section of an
+auction site such as eBay.  He first issues a query for cameras that
+cost less than $300 ... refines the current query result ... browses
+into the page for a specific camera ... and then issues a query against
+the list of lenses."
+
+This example replays that whole discovery session through QDOM,
+printing how many tuples actually crossed the source boundary after
+each step — the point of navigation-driven evaluation is that the
+numbers stay proportional to what the user looked at.
+
+Run:  python examples/auction_browsing.py
+"""
+
+import random
+
+from repro import Database, Mediator, RelationalWrapper, StatsRegistry
+
+random.seed(20020226)  # ICDE 2002
+
+# -- a synthetic auction catalog -------------------------------------------------
+
+stats = StatsRegistry()
+db = Database("auction", stats=stats)
+db.run("CREATE TABLE camera (cid TEXT, model TEXT, price INT,"
+       " afspeed REAL, rating TEXT, PRIMARY KEY (cid))")
+db.run("CREATE TABLE lens (lid TEXT, camera_cid TEXT, price INT,"
+       " diameter INT, owner_region TEXT, PRIMARY KEY (lid))")
+
+RATINGS = ["low", "medium", "high"]
+REGIONS = ["SoCal", "NorCal", "EastCoast"]
+for i in range(300):
+    db.run(
+        "INSERT INTO camera VALUES ('cam{i:04d}', 'Model-{i}', {price},"
+        " {af}, '{rating}')".format(
+            i=i,
+            price=random.randrange(80, 900),
+            af=round(random.uniform(0.1, 1.2), 2),
+            rating=random.choice(RATINGS),
+        )
+    )
+lens_id = 0
+for i in range(300):
+    for __ in range(random.randrange(2, 8)):
+        db.run(
+            "INSERT INTO lens VALUES ('lens{l:05d}', 'cam{i:04d}',"
+            " {price}, {diameter}, '{region}')".format(
+                l=lens_id,
+                i=i,
+                price=random.randrange(40, 600),
+                diameter=random.randrange(6, 18),
+                region=random.choice(REGIONS),
+            )
+        )
+        lens_id += 1
+
+wrapper = (
+    RelationalWrapper(db)
+    .register_document("cameras", "camera")
+    .register_document("lenses", "lens")
+)
+mediator = Mediator(stats=stats).add_source(wrapper)
+
+
+def report(step):
+    print("   [{}: {} tuples shipped, {} SQL queries so far]".format(
+        step, stats.get("tuples_shipped"), stats.get("sql_queries")))
+
+
+# -- step 1: cameras under $300, with their matching lenses ----------------------
+
+listing = mediator.query("""
+    FOR $C IN document(cameras)/camera
+        $L IN document(lenses)/lens
+    WHERE $C/cid/data() = $L/camera_cid/data()
+      AND $C/price/data() < 300
+    RETURN <Listing> $C
+             <MatchingLens> $L </MatchingLens> {$L}
+           </Listing> {$C}
+""")
+print("Step 1: query cameras under $300; browse the first 3 results")
+node = listing.d()
+for __ in range(3):
+    cam = node.find("camera")
+    print("  {} ${} af={}s rating={}".format(
+        cam.find("model").d().fv(), cam.find("price").d().fv(),
+        cam.find("afspeed").d().fv(), cam.find("rating").d().fv()))
+    node = node.r()
+report("after browsing 3")
+
+# -- step 2: the query was too broad; refine from the result root ---------------
+
+print("\nStep 2: refine in place: autofocus < 0.4s and rating >= medium")
+refined = listing.q("""
+    FOR $R IN document(root)/Listing
+    WHERE $R/camera/afspeed/data() < 0.4
+      AND $R/camera/rating/data() != "low"
+    RETURN $R
+""")
+picks = refined.children()
+print("  {} cameras survive the refinement".format(len(picks)))
+report("after refining")
+
+# -- step 3: browse into one camera's matching-lens list -------------------------
+
+pick = refined.d()
+model = pick.find("camera").find("model").d().fv()
+lenses = [c for c in pick.children() if c.fl() == "MatchingLens"]
+print("\nStep 3: browse into {}: {} matching lenses".format(
+    model, len(lenses)))
+report("after opening one listing")
+
+# -- step 4: too many lenses; query the list in place ----------------------------
+
+print("\nStep 4: in-place query on {}'s lenses: under $200,"
+      " diameter > 10, owner in SoCal".format(model))
+good_lenses = pick.q("""
+    FOR $L IN document(root)/MatchingLens
+    WHERE $L/lens/price/data() < 200
+      AND $L/lens/diameter/data() > 10
+      AND $L/lens/owner_region/data() = "SoCal"
+    RETURN $L
+""")
+for lens in good_lenses.children():
+    inner = lens.find("lens")
+    print("  {} ${} {}mm".format(
+        inner.find("lid").d().fv(), inner.find("price").d().fv(),
+        inner.find("diameter").d().fv()))
+report("after the lens query")

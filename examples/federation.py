@@ -1,0 +1,104 @@
+"""Federation: two relational sources, an XML file, and a mediator
+stacked on another mediator (the paper's Section-4 remark that a MIX
+mediator can itself be a source).
+
+The lower mediator integrates a customer database and an orders
+database (imagine two departments); an XML file contributes static
+region metadata.  The upper mediator exposes a *view over the lower
+mediator's view* and the client browses it with a BBQ-style session.
+
+Run:  python examples/federation.py
+"""
+
+from repro import Database, Mediator, RelationalWrapper, StatsRegistry
+from repro.sources import MediatorSource, XmlFileSource
+from repro.qdom import Session
+
+stats = StatsRegistry()
+
+# -- two independent relational sources ------------------------------------------
+
+crm = Database("crm", stats=stats)
+crm.run("CREATE TABLE customer (id TEXT, name TEXT, region TEXT,"
+        " PRIMARY KEY (id))")
+crm.run("INSERT INTO customer VALUES ('XYZ', 'XYZInc.', 'west'),"
+        " ('DEF', 'DEFCorp.', 'east'), ('ABC', 'ABCInc.', 'west')")
+
+billing = Database("billing", stats=stats)
+billing.run("CREATE TABLE orders (orid INT, cid TEXT, value INT,"
+            " PRIMARY KEY (orid))")
+billing.run("INSERT INTO orders VALUES (1, 'XYZ', 2400), (2, 'XYZ', 100),"
+            " (3, 'ABC', 200000), (4, 'DEF', 30000)")
+
+# -- an XML file source with region metadata --------------------------------------
+
+regions = XmlFileSource(stats=stats).add_text("regions", """
+<list>
+  <region><code>west</code><office>San Diego</office></region>
+  <region><code>east</code><office>New York</office></region>
+</list>
+""")
+
+# -- the lower mediator integrates all three --------------------------------------
+
+lower = Mediator(stats=stats)
+lower.add_source(
+    RelationalWrapper(crm, server_name="crm")
+    .register_document("customers", "customer")
+)
+lower.add_source(
+    RelationalWrapper(billing, server_name="billing")
+    .register_document("orders_doc", "orders", element_label="order")
+)
+lower.add_source(regions)
+
+LOWER_VIEW = """
+FOR $C IN document(customers)/customer
+    $O IN document(orders_doc)/order
+WHERE $C/id/data() = $O/cid/data()
+RETURN <Account> $C <Order> $O </Order> {$O} </Account> {$C}
+"""
+
+# -- the upper mediator treats the lower one as a navigable source -----------------
+
+upper = Mediator(stats=stats).add_source(
+    MediatorSource(lower, stats=stats).register_view("accounts", LOWER_VIEW)
+)
+upper.add_source(regions)  # the XML file is visible at both levels
+
+print("Upper-mediator query over the federated view:")
+big = upper.query("""
+    FOR $A IN document(accounts)/Account
+        $R IN document(regions)/region
+    WHERE $A/customer/region/data() = $R/code/data()
+    RETURN <Report> $A $R </Report> {$A, $R}
+""")
+for report in big.children():
+    account = report.find("Account")
+    name = account.find("customer").find("name").d().fv()
+    office = report.find("region").find("office").d().fv()
+    orders = sum(1 for c in account.children() if c.fl() == "Order")
+    print("  {:10s} handled by {:10s} ({} orders)".format(
+        name, office, orders))
+
+print("\nBBQ-style session on the lower view:")
+session = Session(lower)
+session.open(LOWER_VIEW).down()
+session.next_where(
+    lambda n: n.find("customer").find("id").d().fv() == "XYZ"
+)
+print("  at:", " / ".join(session.breadcrumbs()),
+      "->", session.current.oid)
+session.refine("""
+    FOR $O IN document(root)/Order
+    WHERE $O/order/value/data() > 500
+    RETURN $O
+""")
+session.down()
+print("  XYZ's orders over 500:",
+      session.current.find("order").find("value").d().fv())
+print("  interaction log:", session.log())
+
+print("\nTotal source traffic for the whole demo: {} tuples, {} SQL"
+      " queries".format(stats.get("tuples_shipped"),
+                        stats.get("sql_queries")))

@@ -1,0 +1,63 @@
+"""Quickstart: a MIX mediator over a relational source in ~40 lines.
+
+Builds the paper's Fig. 2 database, wraps it as XML documents, defines
+the Fig. 3 view, and interleaves navigation with an in-place query —
+the QDOM interaction model of Section 2.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database, Mediator, RelationalWrapper
+
+# 1. A relational source (the substrate ships with the library).
+db = Database("shop")
+db.run("CREATE TABLE customer (id TEXT, name TEXT, addr TEXT,"
+       " PRIMARY KEY (id))")
+db.run("CREATE TABLE orders (orid INT, cid TEXT, value INT,"
+       " PRIMARY KEY (orid))")
+db.run("INSERT INTO customer VALUES ('XYZ', 'XYZInc.', 'LosAngeles'),"
+       " ('DEF', 'DEFCorp.', 'NewYork'), ('ABC', 'ABCInc.', 'SanDiego')")
+db.run("INSERT INTO orders VALUES (28904, 'XYZ', 2400),"
+       " (87456, 'ABC', 200000), (111, 'XYZ', 100), (222, 'DEF', 30000)")
+
+# 2. Wrap it: each table becomes an XML document (Fig. 2).
+wrapper = (
+    RelationalWrapper(db)
+    .register_document("root1", "customer")
+    .register_document("root2", "orders", element_label="order")
+)
+mediator = Mediator().add_source(wrapper)
+
+# 3. The Fig. 3 view: customers with their orders, nested and grouped.
+root = mediator.query("""
+    FOR $C IN document(root1)/customer
+        $O IN document(root2)/order
+    WHERE $C/id/data() = $O/cid/data()
+    RETURN <CustRec> $C
+             <OrderInfo> $O </OrderInfo> {$O}
+           </CustRec> {$C}
+""")
+
+# 4. Navigate — evaluation happens only as far as you walk (Section 4).
+print("first CustRec id:", root.oid)
+rec = root.d()                       # d(p): first child
+while rec is not None:
+    name = rec.find("customer").find("name").d().fv()
+    n_orders = sum(1 for c in rec.children() if c.fl() == "OrderInfo")
+    print("  {:10s} {} order(s)   node id {}".format(
+        name, n_orders, rec.oid))
+    rec = rec.r()                    # r(p): right sibling
+
+# 5. Query in place (Section 5): refine from a node you navigated to.
+rec = root.d()
+while rec.find("customer").find("id").d().fv() != "XYZ":
+    rec = rec.r()
+cheap = rec.q("""
+    FOR $O IN document(root)/OrderInfo
+    WHERE $O/order/value/data() < 500
+    RETURN $O
+""")
+print("XYZ's orders under 500:")
+for order_info in cheap.children():
+    value = order_info.find("order").find("value").d().fv()
+    print("  value =", value)

@@ -1,0 +1,124 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``     — run the paper's Example 2.1 interactively-ish, printing
+  every QDOM command and what it returned;
+* ``figures``  — regenerate the paper's figure artifacts (plans, result
+  trees, the rewriting trace, and the Fig. 22 SQL) to stdout;
+* ``bench``    — print the quantitative experiment series without
+  needing pytest.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _paper_mediator():
+    from repro import Database, Mediator, RelationalWrapper, StatsRegistry
+
+    stats = StatsRegistry()
+    db = Database("paper", stats=stats)
+    db.run("CREATE TABLE customer (id TEXT, name TEXT, addr TEXT,"
+           " PRIMARY KEY (id))")
+    db.run("CREATE TABLE orders (orid INT, cid TEXT, value INT,"
+           " PRIMARY KEY (orid))")
+    db.run("INSERT INTO customer VALUES ('XYZ', 'XYZInc.', 'LosAngeles'),"
+           " ('DEF', 'DEFCorp.', 'NewYork'), ('ABC', 'ABCInc.', 'SanDiego')")
+    db.run("INSERT INTO orders VALUES (28904, 'XYZ', 2400),"
+           " (87456, 'ABC', 200000), (111, 'XYZ', 100), (222, 'DEF', 30000)")
+    wrapper = (
+        RelationalWrapper(db)
+        .register_document("root1", "customer")
+        .register_document("root2", "orders", element_label="order")
+    )
+    return stats, Mediator(stats=stats).add_source(wrapper)
+
+
+Q1 = """
+FOR $C IN source(root1)/customer
+    $O IN document(root2)/order
+WHERE $C/id/data() = $O/cid/data()
+RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}
+"""
+
+
+def cmd_demo():
+    """Example 2.1, command for command, with traffic counters."""
+    stats, mediator = _paper_mediator()
+
+    def say(command, node):
+        label = node.fl() if node is not None else "⊥"
+        oid = node.oid if node is not None else "-"
+        print("  {:22s} -> {:10s} {}   [shipped={}]".format(
+            command, str(label), oid, stats.get("tuples_shipped")))
+
+    print("Example 2.1 (paper Section 2) against the Fig. 2 database:\n")
+    p0 = mediator.query(Q1)
+    say("p0 = q(Q1)", p0)
+    p1 = p0.d()
+    say("p1 = d(p0)", p1)
+    p2 = p1.r()
+    say("p2 = r(p1)", p2)
+    p3 = p1.d()
+    say("p3 = d(p1)", p3)
+    print()
+    p4 = p0.q(
+        'FOR $P IN document(root)/CustRec'
+        ' WHERE $P/customer/name/data() < "B" RETURN $P'
+    )
+    say("p4 = q(Q2, p0)", p4)
+    p5 = p4.d()
+    say("p5 = d(p4)", p5)
+    p6 = p5.d()
+    say("p6 = d(p5)", p6)
+    p7 = p6.r()
+    say("p7 = r(p6)", p7)
+    print()
+    p9 = p5.q(
+        "FOR $O IN document(root)/OrderInfo"
+        " WHERE $O/order/value/data() < 500 RETURN $O"
+    )
+    say("p9 = q(Q3, p5)", p9)
+    first = p9.d()
+    say("d(p9)", first)
+    return 0
+
+
+def cmd_figures():
+    """Regenerate the paper's artifacts to stdout."""
+    import subprocess
+
+    return subprocess.call(
+        [sys.executable, "-m", "pytest",
+         "benchmarks/test_figures.py", "-q", "-s"]
+    )
+
+
+def cmd_bench():
+    """Print the experiment series (no pytest-benchmark timings)."""
+    import subprocess
+
+    return subprocess.call(
+        [sys.executable, "-m", "pytest", "benchmarks/", "-q", "-s",
+         "--benchmark-disable", "--ignore=benchmarks/test_figures.py"]
+    )
+
+
+def main(argv=None):
+    argv = argv if argv is not None else sys.argv[1:]
+    commands = {
+        "demo": cmd_demo,
+        "figures": cmd_figures,
+        "bench": cmd_bench,
+    }
+    if not argv or argv[0] not in commands:
+        print(__doc__)
+        print("usage: python -m repro {demo|figures|bench}")
+        return 2
+    return commands[argv[0]]()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,227 @@
+"""Binding tuples and binding sets, with the Fig.-5 tree representation.
+
+A *binding list* (we say binding tuple, to avoid clashing with Python
+lists) is ``[$var1 = val1, ..., $vark = valk]``; a *set of binding lists*
+is the input/output of most XMAS operators.  "For the purposes of
+evaluating navigational commands, the output of each operator is also
+viewed as a tree" — :func:`bindings_to_tree` builds exactly the paper's
+Fig. 5 rendering.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MixError, PlanError
+from repro.xmltree.tree import Node, OidGenerator
+from repro.algebra.values import VList, value_key, values_equal
+
+
+class BindingTuple:
+    """An immutable tuple of variable/value bindings.
+
+    Variables are strings that include the ``$`` sigil (``"$C"``), exactly
+    as the paper writes them.
+    """
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings=()):
+        if isinstance(bindings, dict):
+            self._bindings = dict(bindings)
+        else:
+            self._bindings = dict(bindings)
+        for var in self._bindings:
+            _check_var(var)
+
+    # -- access ---------------------------------------------------------------
+
+    def get(self, var):
+        """The value bound to ``var`` (raises :class:`PlanError` if absent)."""
+        try:
+            return self._bindings[var]
+        except KeyError:
+            raise PlanError(
+                "no binding for {} in tuple over {}".format(
+                    var, sorted(self._bindings)
+                )
+            )
+
+    def has(self, var):
+        return var in self._bindings
+
+    def variables(self):
+        """The set of variables bound in this tuple."""
+        return frozenset(self._bindings)
+
+    def items(self):
+        return self._bindings.items()
+
+    # -- construction -----------------------------------------------------------
+
+    def extend(self, var, value):
+        """The paper's ``b + ($v = w)``; ``var`` must not be bound yet."""
+        _check_var(var)
+        if var in self._bindings:
+            raise PlanError("variable {} already bound".format(var))
+        merged = dict(self._bindings)
+        merged[var] = value
+        return BindingTuple(merged)
+
+    def merge(self, other):
+        """The paper's ``b1 + b2``; variable sets must be disjoint."""
+        overlap = self.variables() & other.variables()
+        if overlap:
+            raise PlanError(
+                "cannot merge tuples sharing variables {}".format(
+                    sorted(overlap)
+                )
+            )
+        merged = dict(self._bindings)
+        merged.update(other._bindings)
+        return BindingTuple(merged)
+
+    def project(self, variables):
+        """Restrict to ``variables`` (all must be bound)."""
+        return BindingTuple({v: self.get(v) for v in variables})
+
+    def rename(self, mapping):
+        """A copy with variables renamed per ``mapping`` (old -> new)."""
+        renamed = {}
+        for var, value in self._bindings.items():
+            renamed[mapping.get(var, var)] = value
+        return BindingTuple(renamed)
+
+    # -- comparison ---------------------------------------------------------------
+
+    def key(self, variables=None):
+        """Hashable grouping/dedup key over ``variables`` (default: all)."""
+        if variables is None:
+            variables = sorted(self._bindings)
+        return tuple((v, value_key(self.get(v))) for v in variables)
+
+    def equals(self, other):
+        if self.variables() != other.variables():
+            return False
+        return all(
+            values_equal(self.get(v), other.get(v)) for v in self.variables()
+        )
+
+    def __repr__(self):
+        inner = ", ".join(
+            "{}={!r}".format(v, val) for v, val in sorted(self._bindings.items())
+        )
+        return "[{}]".format(inner)
+
+
+class BindingSet:
+    """An ordered collection of binding tuples.
+
+    The paper calls it a set; order still matters because QDOM navigation
+    walks it left to right, so we keep insertion order and do duplicate
+    elimination only where an operator (``project``) requires it.
+
+    A BindingSet may carry a ``lazy_tail`` iterator: the lazy engine binds
+    group-by partitions this way, so a partition's tuples are pulled from
+    the source only when navigation enters the group.  ``tuple_at`` forces
+    only the requested prefix; ``tuples``/``len``/full iteration force
+    everything.
+    """
+
+    __slots__ = ("_tuples", "_tail")
+
+    def __init__(self, tuples=(), lazy_tail=None):
+        self._tuples = list(tuples)
+        self._tail = lazy_tail
+
+    def _force(self, count):
+        while self._tail is not None and (
+            count is None or len(self._tuples) < count
+        ):
+            try:
+                self._tuples.append(next(self._tail))
+            except StopIteration:
+                self._tail = None
+
+    @property
+    def tuples(self):
+        self._force(None)
+        return self._tuples
+
+    def tuple_at(self, index):
+        """The ``index``-th tuple or ``None`` — forces only that prefix."""
+        if index < 0:
+            return None
+        self._force(index + 1)
+        if index < len(self._tuples):
+            return self._tuples[index]
+        return None
+
+    def __len__(self):
+        self._force(None)
+        return len(self._tuples)
+
+    def __iter__(self):
+        index = 0
+        while True:
+            t = self.tuple_at(index)
+            if t is None:
+                return
+            yield t
+            index += 1
+
+    def __getitem__(self, index):
+        return self.tuples[index]
+
+    def append(self, binding_tuple):
+        if self._tail is not None:
+            raise MixError("cannot append to a lazy BindingSet")
+        self._tuples.append(binding_tuple)
+
+    def variables(self):
+        """Variables common to the tuples (empty set when no tuples)."""
+        first = self.tuple_at(0)
+        if first is None:
+            return frozenset()
+        return first.variables()
+
+    def __repr__(self):
+        if self._tail is not None:
+            return "BindingSet({}+ tuples, lazy)".format(len(self._tuples))
+        return "BindingSet({} tuples)".format(len(self._tuples))
+
+
+def _check_var(var):
+    if not isinstance(var, str) or not var.startswith("$"):
+        raise MixError("variables must look like '$X', got {!r}".format(var))
+
+
+def bindings_to_tree(binding_set, oids=None, root_label="list"):
+    """The Fig.-5 tree representation of a set of binding lists.
+
+    The root is labeled ``list``; its children are ``binding`` nodes; each
+    binding node has one child per variable, labeled with the variable
+    name, whose single child is the value subtree (a list value becomes a
+    ``list``-labeled node, a nested set recurses).
+    """
+    gen = oids or OidGenerator("b")
+    root = Node(gen.fresh(), root_label)
+    for binding_tuple in binding_set:
+        bnode = Node(gen.fresh(), "binding")
+        for var in sorted(binding_tuple.variables()):
+            var_node = Node(gen.fresh(), var)
+            var_node.append(_value_to_tree(binding_tuple.get(var), gen))
+            bnode.append(var_node)
+        root.append(bnode)
+    return root
+
+
+def _value_to_tree(value, gen):
+    if isinstance(value, Node):
+        return value
+    if isinstance(value, VList):
+        list_node = Node(gen.fresh(), "list")
+        for item in value:
+            list_node.append(_value_to_tree(item, gen))
+        return list_node
+    if isinstance(value, BindingSet):
+        return bindings_to_tree(value, gen, root_label="set")
+    raise MixError("not a XMAS value: {!r}".format(value))

@@ -1,0 +1,207 @@
+"""Plan-level utilities: traversal, schemas, renaming, equality, validation."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import PlanError
+from repro.algebra import operators as ops
+
+
+def iter_operators(plan, include_nested=True):
+    """Pre-order iterator over all operators of a plan.
+
+    With ``include_nested`` the nested plans of ``apply`` operators are
+    visited too.
+    """
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children))
+        if include_nested and isinstance(node, ops.Apply):
+            stack.append(node.plan)
+
+
+def defined_vars(plan):
+    """The variables bound in the plan's output tuples.
+
+    Returns ``None`` when the set cannot be determined statically (a plan
+    rooted at ``nestedSrc``, whose schema comes from the enclosing apply
+    at run time).  A plan rooted at ``tD`` defines no variables — its
+    output is a tree.
+    """
+    if isinstance(plan, ops.MkSrc):
+        return frozenset([plan.var])
+    if isinstance(plan, ops.RelQuery):
+        return plan.local_defined_vars()
+    if isinstance(plan, ops.NestedSrc):
+        return None
+    if isinstance(plan, ops.Empty):
+        return frozenset(plan.variables)
+    if isinstance(plan, ops.TD):
+        return frozenset()
+    if isinstance(plan, ops.Project):
+        return frozenset(plan.variables)
+    if isinstance(plan, ops.Join):
+        left = defined_vars(plan.left)
+        right = defined_vars(plan.right)
+        if left is None or right is None:
+            return None
+        return left | right
+    if isinstance(plan, ops.SemiJoin):
+        kept = plan.left if plan.keep == "left" else plan.right
+        return defined_vars(kept)
+    if isinstance(plan, ops.GroupBy):
+        return frozenset(plan.group_vars) | frozenset([plan.out_var])
+    if isinstance(plan, (ops.Select, ops.OrderBy)):
+        return defined_vars(plan.input)
+    # GetD, CrElt, Cat, Apply: input vars plus locally defined ones.
+    base = defined_vars(plan.input)
+    if base is None:
+        return None
+    return base | plan.local_defined_vars()
+
+
+def all_vars(plan):
+    """Every variable mentioned anywhere in the plan (incl. nested)."""
+    seen = set()
+    for node in iter_operators(plan):
+        seen |= node.local_defined_vars()
+        seen |= node.used_vars()
+        if isinstance(node, ops.MkSrc):
+            seen.add(node.var)
+    return seen
+
+
+class VarFactory:
+    """Fresh-variable generator avoiding every name used in given plans."""
+
+    def __init__(self, *plans):
+        self._taken = set()
+        for plan in plans:
+            if plan is not None:
+                self._taken |= all_vars(plan)
+        self._counter = itertools.count(1)
+
+    def reserve(self, names):
+        self._taken |= set(names)
+
+    def fresh(self, stem="$v"):
+        """A variable not used in any of the registered plans."""
+        while True:
+            candidate = "{}{}".format(stem, next(self._counter))
+            if candidate not in self._taken:
+                self._taken.add(candidate)
+                return candidate
+
+
+def rename_vars(plan, mapping):
+    """A deep copy of ``plan`` with variables substituted per ``mapping``.
+
+    Nested ``apply`` plans share the namespace of the partition tuples
+    they run over (the paper's Fig. 6 nested plan mentions the outer
+    ``$O``), so the mapping is applied uniformly everywhere.
+    """
+    renamed_children = tuple(rename_vars(c, mapping) for c in plan.children)
+    node = plan.with_children(renamed_children) if plan.children else plan
+    node = node.rename_local(mapping)
+    if isinstance(node, ops.Apply):
+        node = node.with_nested_plan(rename_vars(plan.plan, mapping))
+    return node
+
+
+def clone_plan(plan):
+    """A deep structural copy (identity renaming)."""
+    return rename_vars(plan, {})
+
+
+def plan_equal(a, b):
+    """Structural plan equality (signatures and shape, oids ignored)."""
+    if a.signature() != b.signature():
+        return False
+    if len(a.children) != len(b.children):
+        return False
+    if isinstance(a, ops.Apply):
+        if not plan_equal(a.plan, b.plan):
+            return False
+    return all(plan_equal(x, y) for x, y in zip(a.children, b.children))
+
+
+def validate_plan(plan, available_sources=None):
+    """Check static well-formedness; raises :class:`PlanError`.
+
+    Verifies that every operator's used variables are defined by its
+    input(s) and that join inputs have disjoint variable sets.  Plans
+    involving ``nestedSrc`` are checked as far as statically possible.
+    """
+    _validate(plan, available_sources)
+
+
+def _validate(plan, sources):
+    for child in plan.children:
+        _validate(child, sources)
+    if isinstance(plan, ops.Apply):
+        _validate(plan.plan, sources)
+    if isinstance(plan, ops.MkSrc) and sources is not None:
+        if plan.source not in sources:
+            raise PlanError("unknown source {!r}".format(plan.source))
+
+    if isinstance(plan, ops.Join):
+        left = defined_vars(plan.left)
+        right = defined_vars(plan.right)
+        if left is not None and right is not None and (left & right):
+            raise PlanError(
+                "join inputs share variables {}".format(sorted(left & right))
+            )
+        _check_used(plan, None if left is None or right is None
+                    else left | right)
+        return
+    if isinstance(plan, ops.SemiJoin):
+        left = defined_vars(plan.left)
+        right = defined_vars(plan.right)
+        if left is None or right is None:
+            return
+        _check_used(plan, left | right)
+        return
+    if plan.children:
+        _check_used(plan, defined_vars(plan.children[0]))
+
+
+def _check_used(plan, available):
+    if available is None:
+        return
+    missing = plan.used_vars() - available
+    if missing:
+        raise PlanError(
+            "{} uses unbound variables {} (available: {})".format(
+                type(plan).__name__, sorted(missing), sorted(available)
+            )
+        )
+
+
+def find_operators(plan, op_type, include_nested=True):
+    """All operators of a given type, in pre-order."""
+    return [
+        node
+        for node in iter_operators(plan, include_nested)
+        if isinstance(node, op_type)
+    ]
+
+
+def replace_operator(plan, target, replacement):
+    """A copy of ``plan`` with the subtree ``target`` (matched by object
+    identity) replaced by ``replacement``."""
+    if plan is target:
+        return replacement
+    new_children = tuple(
+        replace_operator(c, target, replacement) for c in plan.children
+    )
+    node = plan
+    if any(n is not o for n, o in zip(new_children, plan.children)):
+        node = plan.with_children(new_children)
+    if isinstance(node, ops.Apply):
+        new_nested = replace_operator(plan.plan, target, replacement)
+        if new_nested is not plan.plan:
+            node = node.with_nested_plan(new_nested)
+    return node

@@ -1,0 +1,20 @@
+"""Query composition and decontextualization (Sections 5 and 6).
+
+Two entry points:
+
+* :func:`~repro.composer.compose.compose_at_root` — a query issued from
+  the *root* of a previous query's result: the view plan becomes the
+  input of the query plan's source operators (the naive composition of
+  Fig. 13, subsequently optimized by the rewriter's rule 11 onward);
+* :func:`~repro.composer.decontext.decontextualize` — a query issued
+  from a *node reached by navigation*: the node id's payload (variable +
+  group-key values, :class:`repro.engine.vtree.Provenance`) is decoded
+  into selection conditions pinning the context, the view's top ``tD``
+  is dropped, and the query plan is re-rooted at the context variable
+  (Fig. 10).
+"""
+
+from repro.composer.compose import compose_at_root, freshen_against
+from repro.composer.decontext import decontextualize
+
+__all__ = ["compose_at_root", "decontextualize", "freshen_against"]

@@ -1,0 +1,91 @@
+"""Composition of a query with the view it was issued against (§6).
+
+"The mediator simply uses the algebraic plans p1 and p2 ... and for every
+source operator in p2 that refers to the root of q1, the mediator sets
+the input of the source operator as the plan p1."  The result is the
+naive composition (Fig. 13); the rewriter then removes the ``tD``/
+``mksrc`` pair (rule 11) and pushes the combined conditions to the
+sources.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompositionError
+from repro.algebra import operators as ops
+from repro.algebra.plan import (
+    VarFactory,
+    all_vars,
+    clone_plan,
+    iter_operators,
+    rename_vars,
+    replace_operator,
+)
+
+#: Source ids that refer to "the root the query was issued from".
+QUERY_ROOT_IDS = ("root",)
+
+
+def freshen_against(plan, *other_plans):
+    """Rename ``plan``'s variables that collide with any other plan.
+
+    Returns ``(renamed_plan, mapping)``; non-colliding variables keep
+    their names so composed plans stay readable next to the paper's
+    figures.
+    """
+    taken = set()
+    for other in other_plans:
+        if other is not None:
+            taken |= all_vars(other)
+    collisions = sorted(all_vars(plan) & taken)
+    if not collisions:
+        return clone_plan(plan), {}
+    factory = VarFactory(plan, *[p for p in other_plans if p is not None])
+    mapping = {var: factory.fresh(var + "v") for var in collisions}
+    return rename_vars(plan, mapping), mapping
+
+
+def root_source_operators(query_plan, view_id=None,
+                           include_query_root=True):
+    """The ``mksrc`` leaves of a query plan that refer to the view root.
+
+    With ``include_query_root=False`` only the explicit ``view_id`` is
+    matched — used when expanding *named* views, where a literal
+    ``root`` reference belongs to an enclosing in-place query, not to
+    the view.
+    """
+    accepted = set(QUERY_ROOT_IDS) if include_query_root else set()
+    if view_id is not None:
+        accepted.add(str(view_id).lstrip("&"))
+    return [
+        node
+        for node in iter_operators(query_plan)
+        if isinstance(node, ops.MkSrc)
+        and node.input is None
+        and str(node.source).lstrip("&") in accepted
+    ]
+
+
+def compose_at_root(view_plan, query_plan, view_id=None,
+                    include_query_root=True):
+    """The naive composed plan ``q2 ∘ q1`` (Fig. 13).
+
+    Every ``mksrc`` of ``query_plan`` that refers to the query root (the
+    literal id ``root`` — unless ``include_query_root=False`` — or
+    ``view_id``) receives a fresh copy of ``view_plan`` as its input.
+    """
+    if not isinstance(view_plan, ops.TD):
+        raise CompositionError("the view plan must be tD-rooted")
+    if view_id is None:
+        view_id = view_plan.root_oid
+    targets = root_source_operators(query_plan, view_id,
+                                    include_query_root)
+    if not targets:
+        raise CompositionError(
+            "the query plan references no root/view source to compose on"
+        )
+    composed = query_plan
+    for target in targets:
+        view_copy, __ = freshen_against(view_plan, composed)
+        replacement = ops.MkSrc(target.source, target.var, view_copy)
+        composed = replace_operator(composed, target, replacement)
+    return composed

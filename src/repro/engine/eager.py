@@ -1,0 +1,379 @@
+"""The eager (full-materialization) evaluator.
+
+This is the semantics reference: every operator is implemented exactly as
+its set-level definition in Section 3 of the paper, with no laziness.  It
+doubles as the baseline the paper argues against — "evaluating the full
+result unnecessarily overloads the mediator and the sources" — and the
+benchmarks compare the lazy engine's source traffic against it.
+"""
+
+from __future__ import annotations
+
+from repro import stats as statnames
+from repro.errors import EvaluationError, PlanError
+from repro.xmltree.tree import Node, OidGenerator
+from repro.algebra import operators as ops
+from repro.algebra.bindings import BindingSet, BindingTuple
+from repro.algebra.conditions import skolem_arg_of
+from repro.algebra.values import Skolem, VList, value_key
+from repro.engine.pathvals import eval_path_on_value
+from repro.stats import StatsRegistry
+
+
+class EagerEngine:
+    """Evaluates XMAS plans by full materialization."""
+
+    def __init__(self, catalog, stats=None, oids=None, profiler=None):
+        self.catalog = catalog
+        self.stats = stats or StatsRegistry()
+        self.oids = oids or OidGenerator("e")
+        self.profiler = profiler
+
+    # -- entry points ---------------------------------------------------------
+
+    def evaluate(self, plan):
+        """Evaluate ``plan``.
+
+        A ``tD``-rooted plan yields the result tree (:class:`Node`);
+        any other root yields a :class:`BindingSet`.
+        """
+        return self._eval(plan, {})
+
+    def evaluate_tree(self, plan):
+        """Evaluate a plan expected to produce a tree."""
+        result = self.evaluate(plan)
+        if not isinstance(result, Node):
+            raise EvaluationError(
+                "plan root {} produced tuples, not a tree".format(
+                    type(plan).__name__
+                )
+            )
+        return result
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def _eval(self, plan, nested_env):
+        handler = self._HANDLERS.get(type(plan))
+        if handler is None:
+            raise PlanError("no eager handler for {}".format(type(plan).__name__))
+        result = handler(self, plan, nested_env)
+        if self.profiler is not None and isinstance(result, BindingSet):
+            self.profiler.record(plan, len(result))
+        return result
+
+    def _tuples(self, plan, nested_env):
+        result = self._eval(plan, nested_env)
+        if isinstance(result, Node):
+            raise EvaluationError(
+                "expected tuples from {}, got a tree".format(
+                    type(plan).__name__
+                )
+            )
+        return result
+
+    def _count(self, binding_set):
+        self.stats.incr(statnames.OPERATOR_TUPLES, len(binding_set))
+        return binding_set
+
+    # -- source access ------------------------------------------------------------
+
+    def _eval_mksrc(self, plan, nested_env):
+        if plan.input is not None:
+            root = self._eval(plan.input, nested_env)
+            if not isinstance(root, Node):
+                raise EvaluationError(
+                    "mksrc over a sub-plan requires a tree-producing plan"
+                )
+        else:
+            root = self.catalog.materialize(plan.source)
+        out = BindingSet(
+            BindingTuple({plan.var: child}) for child in root.children
+        )
+        return self._count(out)
+
+    def _eval_relquery(self, plan, nested_env):
+        server = self.catalog.server(plan.server)
+        cursor = server.execute_sql(plan.sql)
+        out = BindingSet()
+        for row in cursor:
+            bindings = {}
+            for entry in plan.varmap:
+                value = _assemble_rq_element(entry, row, self.oids)
+                if value is None:  # NULL field: the binding would not exist
+                    bindings = None
+                    break
+                bindings[entry.var] = value
+            if bindings is not None:
+                out.append(BindingTuple(bindings))
+        return self._count(out)
+
+    # -- tuple operators -------------------------------------------------------------
+
+    def _eval_getd(self, plan, nested_env):
+        out = BindingSet()
+        for t in self._tuples(plan.input, nested_env):
+            for match in eval_path_on_value(t.get(plan.in_var), plan.path):
+                out.append(t.extend(plan.out_var, match))
+        return self._count(out)
+
+    def _eval_select(self, plan, nested_env):
+        out = BindingSet(
+            t
+            for t in self._tuples(plan.input, nested_env)
+            if plan.condition.evaluate(t)
+        )
+        return self._count(out)
+
+    def _eval_project(self, plan, nested_env):
+        out = BindingSet()
+        seen = set()
+        for t in self._tuples(plan.input, nested_env):
+            projected = t.project(plan.variables)
+            key = projected.key(plan.variables)
+            if key not in seen:
+                seen.add(key)
+                out.append(projected)
+        return self._count(out)
+
+    def _eval_join(self, plan, nested_env):
+        left = self._tuples(plan.left, nested_env)
+        right = list(self._tuples(plan.right, nested_env))
+        out = BindingSet()
+        for lt in left:
+            for rt in right:
+                if all(c.evaluate(lt, extra=rt) for c in plan.conditions):
+                    out.append(lt.merge(rt))
+        return self._count(out)
+
+    def _eval_semijoin(self, plan, nested_env):
+        left = self._tuples(plan.left, nested_env)
+        right = list(self._tuples(plan.right, nested_env))
+        if plan.keep == "left":
+            keep, probe = left, right
+        else:
+            keep, probe = right, list(left)
+
+        def matches(kept_tuple, probe_tuple):
+            if plan.keep == "left":
+                return all(
+                    c.evaluate(kept_tuple, extra=probe_tuple)
+                    for c in plan.conditions
+                )
+            return all(
+                c.evaluate(probe_tuple, extra=kept_tuple)
+                for c in plan.conditions
+            )
+
+        out = BindingSet()
+        seen = set()
+        for kt in keep:
+            if any(matches(kt, pt) for pt in probe):
+                key = kt.key()
+                if key not in seen:
+                    seen.add(key)
+                    out.append(kt)
+        return self._count(out)
+
+    def _eval_crelt(self, plan, nested_env):
+        out = BindingSet()
+        for t in self._tuples(plan.input, nested_env):
+            out.append(t.extend(plan.out_var, self._build_element(plan, t)))
+        return self._count(out)
+
+    def _build_element(self, plan, binding_tuple):
+        ch_value = binding_tuple.get(plan.ch_var)
+        if plan.ch_is_list:
+            children = [ch_value]
+        elif isinstance(ch_value, VList):
+            children = list(ch_value)
+        elif isinstance(ch_value, Node):
+            # Tolerate a single element where a list is expected.
+            children = [ch_value]
+        else:
+            raise EvaluationError(
+                "crElt child variable {} is bound to {!r}".format(
+                    plan.ch_var, ch_value
+                )
+            )
+        args = [
+            skolem_arg_of(binding_tuple.get(v)) for v in plan.skolem_args
+        ]
+        oid = Skolem(plan.out_var, plan.fn, args, arg_vars=plan.skolem_args)
+        self.stats.incr(statnames.ELEMENTS_BUILT)
+        flattened = []
+        for child in children:
+            if isinstance(child, VList):
+                flattened.extend(child)
+            else:
+                flattened.append(child)
+        return Node(oid, plan.label, flattened)
+
+    def _eval_cat(self, plan, nested_env):
+        out = BindingSet()
+        for t in self._tuples(plan.input, nested_env):
+            x = _as_list(t.get(plan.x_var), plan.x_single, plan.x_var)
+            y = _as_list(t.get(plan.y_var), plan.y_single, plan.y_var)
+            out.append(t.extend(plan.out_var, x.concat(y)))
+        return self._count(out)
+
+    def _eval_td(self, plan, nested_env):
+        root_oid = plan.root_oid
+        root = Node(
+            "&{}".format(root_oid) if root_oid and not str(root_oid).startswith("&")
+            else (root_oid or self.oids.fresh()),
+            "list",
+        )
+        for t in self._tuples(plan.input, nested_env):
+            value = t.get(plan.var)
+            if isinstance(value, Node):
+                root.append(value)
+            elif isinstance(value, VList):
+                for item in value:
+                    if not isinstance(item, Node):
+                        raise EvaluationError(
+                            "tD cannot export nested sets"
+                        )
+                    root.append(item)
+            else:
+                raise EvaluationError(
+                    "tD variable {} bound to a nested set".format(plan.var)
+                )
+        return root
+
+    def _eval_groupby(self, plan, nested_env):
+        partitions = []
+        index = {}
+        for t in self._tuples(plan.input, nested_env):
+            key = t.key(plan.group_vars)
+            if key not in index:
+                index[key] = len(partitions)
+                partitions.append((t, BindingSet()))
+            partitions[index[key]][1].append(t)
+        out = BindingSet()
+        for first_tuple, partition in partitions:
+            bindings = {v: first_tuple.get(v) for v in plan.group_vars}
+            bindings[plan.out_var] = partition
+            out.append(BindingTuple(bindings))
+        return self._count(out)
+
+    def _eval_apply(self, plan, nested_env):
+        out = BindingSet()
+        for t in self._tuples(plan.input, nested_env):
+            env = dict(nested_env)
+            if plan.inp_var is not None:
+                env[plan.inp_var] = t.get(plan.inp_var)
+            result = self._eval(plan.plan, env)
+            if isinstance(result, Node):
+                # A tD-rooted nested plan exports a list tree; the outer
+                # plan consumes it as a list value (Fig. 6's $Z).
+                result = VList(result.children)
+            out.append(t.extend(plan.out_var, result))
+        return self._count(out)
+
+    def _eval_nestedsrc(self, plan, nested_env):
+        if plan.var not in nested_env:
+            raise EvaluationError(
+                "nestedSrc({}) evaluated outside an apply".format(plan.var)
+            )
+        value = nested_env[plan.var]
+        if not isinstance(value, BindingSet):
+            raise EvaluationError(
+                "nestedSrc({}) expects a set of binding lists".format(plan.var)
+            )
+        return value
+
+    def _eval_orderby(self, plan, nested_env):
+        tuples = list(self._tuples(plan.input, nested_env))
+        tuples.sort(
+            key=lambda t: tuple(
+                _order_key(t.get(v)) for v in plan.variables
+            )
+        )
+        return self._count(BindingSet(tuples))
+
+    def _eval_empty(self, plan, nested_env):
+        return BindingSet()
+
+    _HANDLERS = {}
+
+
+def _order_key(value):
+    """Order by node ids, per the paper's orderBy semantics."""
+    return _stable_repr(value_key(value))
+
+
+def _stable_repr(key):
+    # value_key returns nested tuples of strings/numbers; normalise to a
+    # single comparable string.
+    return repr(key)
+
+
+def _as_list(value, single, var):
+    if single:
+        return VList([value])
+    if isinstance(value, VList):
+        return value
+    if isinstance(value, Node):
+        return VList([value])
+    raise EvaluationError(
+        "cat expects {} to be a list (or use the list() qualifier)".format(var)
+    )
+
+
+def _assemble_rq_element(entry, row, oids):
+    """Build one variable's value from a SQL result row (per its kind).
+
+    Returns ``None`` when a ``field``/``leaf`` variable's column is SQL
+    NULL: the corresponding ``getD`` binding would not exist, so the
+    whole tuple must be dropped (the caller's responsibility).
+    NULL columns of an ``element`` variable become absent fields,
+    matching the wrapper's encoding.
+    """
+    if entry.kind == "leaf":
+        ((position, __),) = entry.columns
+        if row[position] is None:
+            return None
+        return Node(oids.fresh(), row[position])
+    if entry.kind == "field":
+        ((position, field_name),) = entry.columns
+        if row[position] is None:
+            return None
+        field = Node(oids.fresh(), field_name)
+        field.append(Node(oids.fresh(), row[position]))
+        return field
+    element_children = []
+    for position, field_name in entry.columns:
+        if row[position] is None:
+            continue
+        field = Node(oids.fresh(), field_name)
+        field.append(Node(oids.fresh(), row[position]))
+        element_children.append(field)
+    if entry.key_positions:
+        oid = "&" + "/".join(str(row[p]) for p in entry.key_positions)
+    else:
+        oid = oids.fresh()
+    return Node(oid, entry.label, element_children)
+
+
+EagerEngine._HANDLERS = {
+    ops.MkSrc: EagerEngine._eval_mksrc,
+    ops.RelQuery: EagerEngine._eval_relquery,
+    ops.GetD: EagerEngine._eval_getd,
+    ops.Select: EagerEngine._eval_select,
+    ops.Project: EagerEngine._eval_project,
+    ops.Join: EagerEngine._eval_join,
+    ops.SemiJoin: EagerEngine._eval_semijoin,
+    ops.CrElt: EagerEngine._eval_crelt,
+    ops.Cat: EagerEngine._eval_cat,
+    ops.TD: EagerEngine._eval_td,
+    ops.GroupBy: EagerEngine._eval_groupby,
+    ops.Apply: EagerEngine._eval_apply,
+    ops.NestedSrc: EagerEngine._eval_nestedsrc,
+    ops.OrderBy: EagerEngine._eval_orderby,
+    ops.Empty: EagerEngine._eval_empty,
+}
+
+
+def evaluate_eager(plan, catalog, stats=None):
+    """Convenience wrapper: evaluate ``plan`` eagerly over ``catalog``."""
+    return EagerEngine(catalog, stats=stats).evaluate(plan)

@@ -1,0 +1,96 @@
+"""Group-by implementations: presorted stateless and stateful (Section 4).
+
+The paper's Table 1 gives the *presorted stateless* gBy: because the
+input arrives sorted on the group-by variables, a group's tuples are the
+contiguous run starting at the group's first input tuple, and all the
+state the operator needs — the input position ``bs`` and the current
+group key — fits in the exported node id.  Our :class:`LazyList` indexes
+play the role of the input node ids.
+
+The *stateful* gBy makes no sortedness assumption: it buffers the entire
+input stream on first pull (counted under ``buffered_tuples``) and then
+partitions, exactly as the paper describes ("the stateful gBy ... needs
+buffers to store the input stream").
+"""
+
+from __future__ import annotations
+
+from repro import stats as statnames
+from repro.algebra.bindings import BindingSet, BindingTuple
+
+
+def presorted_gby_stream(input_list, group_vars, out_var, stats=None):
+    """Table 1's presorted stateless gBy as a generator of group tuples.
+
+    ``input_list`` is a :class:`~repro.engine.streams.LazyList` of
+    binding tuples sorted (clustered) on ``group_vars``.  Each yielded
+    tuple binds the group variables plus ``out_var`` to a *lazy* nested
+    set: the partition's tuples are pulled from below only when
+    navigation enters the group — the ``d(<group, bs, [g...]>)`` row of
+    Table 1.
+    """
+    position = 0
+    while True:
+        first = input_list.get(position)
+        if first is None:
+            return
+        group_key = first.key(group_vars)
+
+        def partition_tail(start=position, key=group_key):
+            index = start
+            while True:
+                t = input_list.get(index)
+                if t is None or t.key(group_vars) != key:
+                    return
+                yield t
+                index += 1
+
+        bindings = {v: first.get(v) for v in group_vars}
+        bindings[out_var] = BindingSet(lazy_tail=partition_tail())
+        yield BindingTuple(bindings)
+        # Advance past this group: the Table-1 `r(<binding, ...>)` loop —
+        # "repeat b's = r(bs) ... until g != g'".
+        position += 1
+        while True:
+            t = input_list.get(position)
+            if t is None or t.key(group_vars) != group_key:
+                break
+            position += 1
+
+
+def stateful_gby_stream(input_list, group_vars, out_var, stats=None):
+    """Stateful gBy: buffer everything, then emit one tuple per group."""
+    buffered = input_list.materialize()
+    if stats is not None:
+        stats.incr(statnames.BUFFERED_TUPLES, len(buffered))
+    partitions = []
+    index = {}
+    for t in buffered:
+        key = t.key(group_vars)
+        if key not in index:
+            index[key] = len(partitions)
+            partitions.append((t, []))
+        partitions[index[key]][1].append(t)
+    for first, tuples in partitions:
+        bindings = {v: first.get(v) for v in group_vars}
+        bindings[out_var] = BindingSet(tuples)
+        yield BindingTuple(bindings)
+
+
+def input_is_sorted_for(sorted_vars, group_vars):
+    """Does a stream sorted on ``sorted_vars`` cluster ``group_vars``?
+
+    True when some prefix of the sort key covers exactly the group-by
+    variables (order within the list does not matter for clustering).
+    """
+    group_set = set(group_vars)
+    if not group_set:
+        return True
+    prefix = set()
+    for var in sorted_vars:
+        prefix.add(var)
+        if prefix == group_set:
+            return True
+        if not prefix <= group_set:
+            return False
+    return False

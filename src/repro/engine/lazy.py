@@ -1,0 +1,433 @@
+"""Navigation-driven lazy evaluation (Section 4 of the paper).
+
+"The MIX client receives a virtual answer document in response to its
+query.  The virtual document is not materialized into the client memory
+until the client starts navigating into it."  Here:
+
+* every operator's output is a memoized pull stream
+  (:class:`~repro.engine.streams.LazyList` of binding tuples);
+* values inside tuples are lazy too — constructed elements
+  (:class:`~repro.xmltree.tree.Node` with a lazy tail), lists
+  (:class:`~repro.algebra.values.VList`), and group partitions
+  (:class:`~repro.algebra.bindings.BindingSet`) all materialize their
+  contents only when navigation reaches them;
+* the leaves pull from source cursors, so a ``d``/``r`` command at the
+  client propagates down the plan and ends as "either queries or moves
+  of the cursors" at the relational source — exactly the paper's
+  decomposition of client navigations into source commands.
+
+Group-by picks the presorted stateless implementation of Table 1 whenever
+the input's inferred sort order clusters the group variables (e.g. below
+an ``orderBy`` or an ``rQ`` whose SQL carries a matching ORDER BY), and
+the buffering stateful one otherwise.
+"""
+
+from __future__ import annotations
+
+from repro import stats as statnames
+from repro.errors import EvaluationError, PlanError
+from repro.xmltree.tree import Node, OidGenerator, atomize
+from repro.algebra import operators as ops
+from repro.algebra.bindings import BindingSet, BindingTuple
+from repro.algebra.conditions import skolem_arg_of, KEY, VALUE
+from repro.algebra.values import Skolem, VList, value_key
+from repro.engine.gby import (
+    input_is_sorted_for,
+    presorted_gby_stream,
+    stateful_gby_stream,
+)
+from repro.engine.pathvals import eval_path_on_value
+from repro.engine.streams import LazyList
+from repro.stats import StatsRegistry
+
+
+class LazyEngine:
+    """Evaluates XMAS plans by navigation-driven pull.
+
+    Args:
+        catalog: the :class:`~repro.sources.SourceCatalog`.
+        stats: counters shared with the sources.
+        force_stateful_gby: disable the Table-1 presorted gBy (used by
+            benchmarks to isolate its effect).
+    """
+
+    def __init__(self, catalog, stats=None, oids=None,
+                 force_stateful_gby=False, profiler=None):
+        self.catalog = catalog
+        self.stats = stats or StatsRegistry()
+        self.oids = oids or OidGenerator("L")
+        self.force_stateful_gby = force_stateful_gby
+        self.profiler = profiler
+
+    # -- entry points -----------------------------------------------------------
+
+    def evaluate(self, plan):
+        """Evaluate ``plan``.
+
+        A ``tD``-rooted plan returns the (virtual, lazily materializing)
+        result tree root; any other root returns the lazy tuple stream.
+        """
+        if isinstance(plan, ops.TD):
+            return self._td_root(plan, {})
+        return self.stream(plan, {})
+
+    def evaluate_tree(self, plan):
+        root = self.evaluate(plan)
+        if not isinstance(root, Node):
+            raise EvaluationError("plan does not produce a tree")
+        return root
+
+    def stream(self, plan, env):
+        """The lazy tuple stream of a (non-``tD``) plan."""
+        handler = self._HANDLERS.get(type(plan))
+        if handler is None:
+            raise PlanError(
+                "no lazy handler for {}".format(type(plan).__name__)
+            )
+        return LazyList(self._counted(handler(self, plan, env), plan))
+
+    def _counted(self, generator, plan):
+        for t in generator:
+            self.stats.incr(statnames.OPERATOR_TUPLES)
+            if self.profiler is not None:
+                self.profiler.record(plan)
+            yield t
+
+    # -- tD and the virtual tree ---------------------------------------------------
+
+    def _td_root(self, plan, env):
+        root_oid = plan.root_oid
+        if root_oid is None:
+            oid = self.oids.fresh()
+        elif str(root_oid).startswith("&"):
+            oid = root_oid
+        else:
+            oid = "&{}".format(root_oid)
+        return Node(oid, "list", lazy_tail=self._td_children(plan, env))
+
+    def _td_children(self, plan, env):
+        """The child elements a ``tD`` exports, as a lazy generator."""
+        for t in self.stream(plan.input, env):
+            value = t.get(plan.var)
+            if isinstance(value, Node):
+                yield value
+            elif isinstance(value, VList):
+                for item in value:
+                    if not isinstance(item, Node):
+                        raise EvaluationError("tD cannot export nested sets")
+                    yield item
+            else:
+                raise EvaluationError(
+                    "tD variable {} bound to a nested set".format(plan.var)
+                )
+
+    # -- source access ---------------------------------------------------------------
+
+    def _eval_mksrc(self, plan, env):
+        if plan.input is not None:
+            if not isinstance(plan.input, ops.TD):
+                raise EvaluationError(
+                    "mksrc over a sub-plan requires a tD-rooted plan"
+                )
+            children = self._td_children(plan.input, env)
+        else:
+            children = self.catalog.iter_children(plan.source)
+        for child in children:
+            yield BindingTuple({plan.var: child})
+
+    def _eval_relquery(self, plan, env):
+        server = self.catalog.server(plan.server)
+        cursor = server.execute_sql(plan.sql)
+        from repro.engine.eager import _assemble_rq_element
+
+        for row in cursor:
+            bindings = {}
+            for entry in plan.varmap:
+                value = _assemble_rq_element(entry, row, self.oids)
+                if value is None:  # NULL field: no binding, drop the row
+                    bindings = None
+                    break
+                bindings[entry.var] = value
+            if bindings is not None:
+                yield BindingTuple(bindings)
+
+    # -- tuple operators ---------------------------------------------------------------
+
+    def _eval_getd(self, plan, env):
+        for t in self.stream(plan.input, env):
+            for match in eval_path_on_value(t.get(plan.in_var), plan.path):
+                yield t.extend(plan.out_var, match)
+
+    def _eval_select(self, plan, env):
+        for t in self.stream(plan.input, env):
+            if plan.condition.evaluate(t):
+                yield t
+
+    def _eval_project(self, plan, env):
+        seen = set()
+        for t in self.stream(plan.input, env):
+            projected = t.project(plan.variables)
+            key = projected.key(plan.variables)
+            if key not in seen:
+                seen.add(key)
+                yield projected
+
+    def _eval_join(self, plan, env):
+        right = self.stream(plan.right, env)
+        hash_conds, loop_conds = _split_join_conditions(plan.conditions)
+        if hash_conds:
+            left_defined, right_defined = self._join_sides(plan)
+            index = None
+            for lt in self.stream(plan.left, env):
+                if index is None:
+                    # Build the hash table on first probe; an empty left
+                    # input never touches the right source at all.
+                    index = _build_join_index(
+                        right, hash_conds, left_defined, right_defined
+                    )
+                probe_key = _probe_key(
+                    lt, hash_conds, left_defined, right_defined
+                )
+                for rt in index.get(probe_key, ()):
+                    if all(c.evaluate(lt, extra=rt) for c in loop_conds):
+                        yield lt.merge(rt)
+        else:
+            for lt in self.stream(plan.left, env):
+                for rt in right:
+                    if all(
+                        c.evaluate(lt, extra=rt) for c in plan.conditions
+                    ):
+                        yield lt.merge(rt)
+
+    def _join_sides(self, plan):
+        from repro.algebra.plan import defined_vars
+
+        left = defined_vars(plan.left) or frozenset()
+        right = defined_vars(plan.right) or frozenset()
+        return left, right
+
+    def _eval_semijoin(self, plan, env):
+        if plan.keep == "left":
+            keep_plan, probe_plan = plan.left, plan.right
+        else:
+            keep_plan, probe_plan = plan.right, plan.left
+        probe = self.stream(probe_plan, env)
+        probe_materialized = None
+        seen = set()
+        for kt in self.stream(keep_plan, env):
+            if probe_materialized is None:
+                probe_materialized = probe.materialize()
+            matched = False
+            for pt in probe_materialized:
+                first, second = (
+                    (kt, pt) if plan.keep == "left" else (pt, kt)
+                )
+                if all(
+                    c.evaluate(first, extra=second)
+                    for c in plan.conditions
+                ):
+                    matched = True
+                    break
+            if matched:
+                key = kt.key()
+                if key not in seen:
+                    seen.add(key)
+                    yield kt
+
+    def _eval_crelt(self, plan, env):
+        for t in self.stream(plan.input, env):
+            yield t.extend(plan.out_var, self._build_element(plan, t))
+
+    def _build_element(self, plan, t):
+        ch_value = t.get(plan.ch_var)
+        args = [skolem_arg_of(t.get(v)) for v in plan.skolem_args]
+        oid = Skolem(plan.out_var, plan.fn, args, arg_vars=plan.skolem_args)
+        self.stats.incr(statnames.ELEMENTS_BUILT)
+        if plan.ch_is_list or isinstance(ch_value, Node):
+            return Node(oid, plan.label, [ch_value])
+        if isinstance(ch_value, VList):
+
+            def tail(source=ch_value):
+                for item in source:
+                    if isinstance(item, VList):
+                        for sub in item:
+                            yield sub
+                    else:
+                        yield item
+
+            return Node(oid, plan.label, lazy_tail=tail())
+        raise EvaluationError(
+            "crElt child variable {} bound to {!r}".format(
+                plan.ch_var, ch_value
+            )
+        )
+
+    def _eval_cat(self, plan, env):
+        for t in self.stream(plan.input, env):
+            x = _lazy_as_list(t.get(plan.x_var), plan.x_single)
+            y = _lazy_as_list(t.get(plan.y_var), plan.y_single)
+            yield t.extend(plan.out_var, x.lazy_concat(y))
+
+    def _eval_groupby(self, plan, env):
+        input_list = self.stream(plan.input, env)
+        sorted_vars = infer_sorted_vars(plan.input)
+        use_presorted = not self.force_stateful_gby and input_is_sorted_for(
+            sorted_vars, plan.group_vars
+        )
+        if use_presorted:
+            return presorted_gby_stream(
+                input_list, plan.group_vars, plan.out_var, self.stats
+            )
+        return stateful_gby_stream(
+            input_list, plan.group_vars, plan.out_var, self.stats
+        )
+
+    def _eval_apply(self, plan, env):
+        for t in self.stream(plan.input, env):
+            inner_env = dict(env)
+            if plan.inp_var is not None:
+                inner_env[plan.inp_var] = t.get(plan.inp_var)
+            if isinstance(plan.plan, ops.TD):
+                value = VList(
+                    lazy_tail=self._td_children(plan.plan, inner_env)
+                )
+            else:
+                inner_stream = self.stream(plan.plan, inner_env)
+                value = BindingSet(lazy_tail=iter(inner_stream))
+            yield t.extend(plan.out_var, value)
+
+    def _eval_nestedsrc(self, plan, env):
+        if plan.var not in env:
+            raise EvaluationError(
+                "nestedSrc({}) evaluated outside an apply".format(plan.var)
+            )
+        for t in env[plan.var]:
+            yield t
+
+    def _eval_empty(self, plan, env):
+        return iter(())
+
+    def _eval_orderby(self, plan, env):
+        tuples = self.stream(plan.input, env).materialize()
+        tuples.sort(
+            key=lambda t: tuple(
+                repr(value_key(t.get(v))) for v in plan.variables
+            )
+        )
+        return iter(tuples)
+
+    _HANDLERS = {}
+
+
+LazyEngine._HANDLERS = {
+    ops.MkSrc: LazyEngine._eval_mksrc,
+    ops.RelQuery: LazyEngine._eval_relquery,
+    ops.GetD: LazyEngine._eval_getd,
+    ops.Select: LazyEngine._eval_select,
+    ops.Project: LazyEngine._eval_project,
+    ops.Join: LazyEngine._eval_join,
+    ops.SemiJoin: LazyEngine._eval_semijoin,
+    ops.CrElt: LazyEngine._eval_crelt,
+    ops.Cat: LazyEngine._eval_cat,
+    ops.GroupBy: LazyEngine._eval_groupby,
+    ops.Apply: LazyEngine._eval_apply,
+    ops.NestedSrc: LazyEngine._eval_nestedsrc,
+    ops.OrderBy: LazyEngine._eval_orderby,
+    ops.Empty: LazyEngine._eval_empty,
+}
+
+
+# -- helpers ------------------------------------------------------------------------
+
+
+def _lazy_as_list(value, single):
+    if single:
+        return VList([value])
+    if isinstance(value, VList):
+        return value
+    if isinstance(value, Node):
+        return VList([value])
+    raise EvaluationError("cat expects a list value, got {!r}".format(value))
+
+
+def _split_join_conditions(conditions):
+    """Separate hashable equality conditions from loop conditions."""
+    hashable = []
+    loop = []
+    for c in conditions:
+        if c.op == "=" and c.is_var_var() and c.mode in (VALUE, KEY):
+            hashable.append(c)
+        else:
+            loop.append(c)
+    return hashable, loop
+
+
+def _cond_sides(cond, left_defined, right_defined):
+    """Orient a var-var equality: (left input's var, right input's var)."""
+    lv, rv = cond.left.var, cond.right.var
+    if lv in left_defined and rv in right_defined:
+        return lv, rv
+    if rv in left_defined and lv in right_defined:
+        return rv, lv
+    raise EvaluationError(
+        "join condition {!r} does not span both inputs".format(cond)
+    )
+
+
+def _hash_key_component(t, var, mode):
+    value = t.get(var)
+    if mode == KEY:
+        return value_key(value)
+    if isinstance(value, Node):
+        return atomize(value)
+    return None
+
+
+def _build_join_index(right_stream, hash_conds, left_defined, right_defined):
+    index = {}
+    for rt in right_stream:
+        key = tuple(
+            _hash_key_component(
+                rt, _cond_sides(c, left_defined, right_defined)[1], c.mode
+            )
+            for c in hash_conds
+        )
+        index.setdefault(key, []).append(rt)
+    return index
+
+
+def _probe_key(lt, hash_conds, left_defined, right_defined):
+    return tuple(
+        _hash_key_component(
+            lt, _cond_sides(c, left_defined, right_defined)[0], c.mode
+        )
+        for c in hash_conds
+    )
+
+
+def infer_sorted_vars(plan):
+    """Variables the plan's output is (clustered-)sorted on.
+
+    Conservative static inference: ``orderBy`` and ``rQ`` establish
+    order; tuple-preserving unary operators pass their input's order
+    through; ``join``/``semijoin`` preserve the streamed (probe/kept)
+    side's order; everything else yields no guarantee.
+    """
+    if isinstance(plan, ops.OrderBy):
+        return tuple(plan.variables)
+    if isinstance(plan, ops.RelQuery):
+        return tuple(plan.order_vars)
+    if isinstance(
+        plan,
+        (ops.Select, ops.GetD, ops.CrElt, ops.Cat, ops.Apply, ops.Project),
+    ):
+        return infer_sorted_vars(plan.input)
+    if isinstance(plan, ops.Join):
+        return infer_sorted_vars(plan.left)
+    if isinstance(plan, ops.SemiJoin):
+        kept = plan.left if plan.keep == "left" else plan.right
+        return infer_sorted_vars(kept)
+    if isinstance(plan, ops.GroupBy):
+        inherited = infer_sorted_vars(plan.input)
+        return tuple(v for v in inherited if v in plan.group_vars)
+    return ()

@@ -1,0 +1,40 @@
+"""Path evaluation over binding *values* (elements and lists).
+
+``getD``'s input variable is usually bound to an element, but after
+rewriting it may be bound to a list (rule 1 rewrites
+``getD($V.custRec.orderInfo)`` over ``crElt`` into
+``getD($W.list.orderInfo)`` where ``$W`` is ``cat``'s output list).  A
+:class:`~repro.algebra.values.VList` therefore acts as a virtual node
+labeled ``list``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EvaluationError
+from repro.xmltree.tree import Node
+from repro.xmltree.paths import Path, Step
+from repro.algebra.values import VList
+
+
+def eval_path_on_value(value, path):
+    """All nodes reached from ``value`` (Node or VList) via ``path``."""
+    if isinstance(value, Node):
+        return path.evaluate(value)
+    if isinstance(value, VList):
+        if not path.steps:
+            raise EvaluationError("empty path over a list value")
+        head = path.steps[0]
+        if not (head.kind == Step.WILD or
+                (head.kind == Step.LABEL and head.label == "list")):
+            return []
+        rest = path.residual()
+        if rest.is_empty():
+            # The path addresses the list itself; lists are not elements,
+            # so there is nothing to bind.
+            return []
+        matches = []
+        for item in value:
+            matches.extend(eval_path_on_value(item, rest))
+        return matches
+    # Nested binding sets are not addressable by paths.
+    return []

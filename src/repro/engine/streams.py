@@ -1,0 +1,59 @@
+"""Memoized pull streams — the backbone of the lazy engine.
+
+A :class:`LazyList` wraps an iterator and materializes items only when
+indexed, remembering what it has pulled.  This is the practical analogue
+of the paper's state-in-node-id scheme: an operator's exported node id
+contains the *index* of the input tuple it came from, and re-navigating
+to that id replays from the memo instead of re-querying the source.
+"""
+
+from __future__ import annotations
+
+
+class LazyList:
+    """A memoizing, index-addressable view over an iterator."""
+
+    __slots__ = ("_items", "_source")
+
+    def __init__(self, iterator):
+        self._items = []
+        self._source = iter(iterator)
+
+    def get(self, index):
+        """The ``index``-th item or ``None``; pulls only that prefix."""
+        if index < 0:
+            return None
+        while self._source is not None and len(self._items) <= index:
+            try:
+                self._items.append(next(self._source))
+            except StopIteration:
+                self._source = None
+        if index < len(self._items):
+            return self._items[index]
+        return None
+
+    def __iter__(self):
+        index = 0
+        while True:
+            item = self.get(index)
+            if item is None:
+                return
+            yield item
+            index += 1
+
+    def materialize(self):
+        """Force everything and return the full list."""
+        return list(self)
+
+    @property
+    def pulled_count(self):
+        """Items materialized so far (no forcing)."""
+        return len(self._items)
+
+    @property
+    def exhausted(self):
+        return self._source is None
+
+    def __repr__(self):
+        suffix = "" if self.exhausted else "+"
+        return "LazyList({}{} items)".format(len(self._items), suffix)

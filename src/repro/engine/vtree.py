@@ -1,0 +1,171 @@
+"""The virtual result tree: QDOM navigation over lazy results (§2, §5).
+
+A :class:`VNode` is the engine-side object behind each node id the
+mediator exports.  It supports the paper's navigation commands —
+
+* ``down()``  — ``d(p)``: first child,
+* ``right()`` — ``r(p)``: right sibling,
+* ``label()`` — ``fl(p)``: label fetch,
+* ``value()`` — ``fv(p)``: value fetch (leaves only) —
+
+and carries the Section-5 id payload: the variable the node was bound to
+before ``tD`` and the group-by key values of every enclosing constructed
+element (accumulated from the skolem oids on the way down).  That payload
+is exactly what :mod:`repro.composer` decodes to decontextualize a query
+issued from this node.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NavigationError
+from repro.xmltree.tree import Node
+from repro.algebra.values import Skolem
+
+
+class Provenance:
+    """What a node id tells the mediator about the node's origin.
+
+    Attributes:
+        var: the plan variable the node was bound to (``$V`` for a
+            CustRec of Fig. 7, ``$C`` for the customer element inside
+            it), or ``None`` when the node is not variable-addressable.
+        fixed: ``{variable: key}`` — values of the group-by variables of
+            every enclosing constructed element, decoded from skolem ids.
+    """
+
+    __slots__ = ("var", "fixed")
+
+    def __init__(self, var, fixed):
+        self.var = var
+        self.fixed = dict(fixed)
+
+    def __repr__(self):
+        inner = ", ".join(
+            "{}={}".format(v, k) for v, k in sorted(self.fixed.items())
+        )
+        return "Provenance({}; {})".format(self.var, inner)
+
+
+class VNode:
+    """A navigable handle on one node of a (possibly virtual) result tree.
+
+    VNodes are cheap wrappers: the underlying :class:`Node` may have a
+    lazy tail, and navigation forces exactly the prefix it visits.
+    """
+
+    __slots__ = ("node", "parent", "index", "fixed", "is_root")
+
+    def __init__(self, node, parent=None, index=0, fixed=None, is_root=False):
+        self.node = node
+        self.parent = parent
+        self.index = index
+        self.fixed = dict(fixed or {})
+        self.is_root = is_root
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def root(cls, node):
+        """Wrap a result root (the ``tD`` output)."""
+        return cls(node, is_root=True)
+
+    def _wrap_child(self, child, index):
+        fixed = dict(self.fixed)
+        if isinstance(child.oid, Skolem):
+            fixed.update(child.oid.fixed_bindings())
+        return VNode(child, parent=self, index=index, fixed=fixed)
+
+    # -- the QDOM navigation commands (Section 2) -------------------------------------
+
+    def down(self):
+        """``d(p)``: the first child, or ``None`` on a leaf."""
+        child = self.node.child(0)
+        if child is None:
+            return None
+        return self._wrap_child(child, 0)
+
+    def right(self):
+        """``r(p)``: the right sibling, or ``None`` at the end."""
+        if self.parent is None:
+            return None
+        sibling = self.parent.node.child(self.index + 1)
+        if sibling is None:
+            return None
+        return self.parent._wrap_child(sibling, self.index + 1)
+
+    def label(self):
+        """``fl(p)``: the node's label."""
+        return self.node.label
+
+    def value(self):
+        """``fv(p)``: the leaf's value, or ``None`` on a non-leaf."""
+        if not self.node.is_leaf:
+            return None
+        return self.node.label
+
+    def children(self):
+        """All children as VNodes (forces them — a test convenience, not
+        a QDOM command)."""
+        out = []
+        child = self.down()
+        while child is not None:
+            out.append(child)
+            child = child.right()
+        return out
+
+    # -- Section 5: the id's decodable payload ---------------------------------------
+
+    def provenance(self):
+        """The decontextualization payload of this node's id.
+
+        * a constructed node (skolem oid) is addressed by its skolem
+          variable;
+        * a source element equal to one of the fixed group values is
+          addressed by that group variable (the customer ``&XYZ123``
+          inside a CustRec created with skolem ``f(&XYZ123)``);
+        * anything else has ``var=None`` and cannot root an in-place
+          query (the paper requires group-by values forming a key).
+        """
+        oid = self.node.oid
+        if isinstance(oid, Skolem):
+            fixed = dict(self.fixed)
+            return Provenance(oid.var, fixed)
+        for var, key in self.fixed.items():
+            if str(key) == str(oid):
+                return Provenance(var, dict(self.fixed))
+        return Provenance(None, dict(self.fixed))
+
+    def require_query_root(self):
+        """Validate this node can root an in-place query; returns its
+        :class:`Provenance` (raises :class:`NavigationError`)."""
+        if self.is_root:
+            return Provenance(None, {})
+        prov = self.provenance()
+        if prov.var is None:
+            raise NavigationError(
+                "node {} carries no variable provenance; queries may be "
+                "issued from the result root, constructed elements, or "
+                "group-key source elements".format(self.node.oid)
+            )
+        return prov
+
+    def __repr__(self):
+        return "VNode({}:{})".format(self.node.oid, self.node.label)
+
+
+def walk_fully(vnode):
+    """Force the entire subtree below ``vnode`` via navigation commands
+    only; returns the number of nodes visited.  Used by tests to prove
+    the lazy engine materializes exactly what navigation touches."""
+    count = 1
+    child = vnode.down()
+    while child is not None:
+        count += walk_fully(child)
+        child = child.right()
+    return count
+
+
+def vnode_to_tree(vnode):
+    """Materialize the subtree at ``vnode`` into a plain Node tree."""
+    children = [vnode_to_tree(c) for c in vnode.children()]
+    return Node(vnode.node.oid, vnode.node.label, children)

@@ -1,0 +1,89 @@
+"""Exception hierarchy for the MIX reproduction.
+
+Every error raised by the library derives from :class:`MixError`, so client
+code can catch a single base class.  Sub-hierarchies mirror the subsystems:
+parsing (XML text, SQL text, XQuery text), planning/translation, the lazy
+engine, the rewriter, and the relational substrate.
+"""
+
+from __future__ import annotations
+
+
+class MixError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class ParseError(MixError):
+    """A textual input (XML, SQL, or XQuery) could not be parsed.
+
+    Attributes:
+        text: the offending source text (may be ``None``).
+        position: character offset of the error, when known.
+    """
+
+    def __init__(self, message, text=None, position=None):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+
+class XmlParseError(ParseError):
+    """Malformed XML text."""
+
+
+class SqlError(MixError):
+    """Base class for relational-substrate errors."""
+
+
+class SqlParseError(ParseError, SqlError):
+    """Malformed SQL text."""
+
+
+class SchemaError(SqlError):
+    """A table/column reference does not match the database schema."""
+
+
+class TypeMismatchError(SqlError):
+    """A value does not conform to its declared column type."""
+
+
+class IntegrityError(SqlError):
+    """A primary-key or uniqueness constraint was violated."""
+
+
+class XQueryParseError(ParseError):
+    """Malformed XQuery text (the paper's Fig. 4 subset)."""
+
+
+class TranslationError(MixError):
+    """The XQuery AST could not be translated to an XMAS plan."""
+
+
+class PlanError(MixError):
+    """An XMAS plan is structurally invalid (unknown variable, arity, ...)."""
+
+
+class EvaluationError(MixError):
+    """The engine could not evaluate a plan over the given sources."""
+
+
+class NavigationError(MixError):
+    """An invalid QDOM navigation command (e.g. ``d`` on a leaf id of the
+    wrong operator, or a stale node id)."""
+
+
+class RewriteError(MixError):
+    """A rewrite rule produced or was applied to an inconsistent plan."""
+
+
+class CompositionError(MixError):
+    """Decontextualization / query composition failed (e.g. a node id that
+    carries no skolem provenance was used as a query root)."""
+
+
+class SourceError(MixError):
+    """A wrapped source rejected a request or is misconfigured."""
+
+
+class UnknownSourceError(SourceError):
+    """A plan references a source id that the mediator does not know."""

@@ -1,0 +1,25 @@
+"""QDOM — the Querible Document Object Model API (Section 2).
+
+The programmatic interface MIX offers its clients: DOM-style navigation
+(``d``, ``r``, ``fl``, ``fv``) over virtual XML views, plus the
+``q(query, p)`` command that issues an XQuery *from any node reached by
+navigation* and returns the root of a new virtual answer.
+
+::
+
+    from repro.qdom import Mediator
+
+    mediator = Mediator()
+    mediator.add_source(wrapper)
+    root = mediator.query(Q1)        # a QdomNode: nothing materialized yet
+    cust = root.d()                  # first CustRec (one tuple pulled)
+    nxt = cust.r()                   # second CustRec
+    refined = cust.q(Q3)             # in-place query: decontextualized,
+                                     # optimized, pushed to the sources
+"""
+
+from repro.qdom.api import QdomNode
+from repro.qdom.mediator import Mediator
+from repro.qdom.session import Session
+
+__all__ = ["Mediator", "QdomNode", "Session"]

@@ -1,0 +1,103 @@
+"""The client-side QDOM node handle.
+
+"In MIX's implementation the p_i's are really Java objects that are
+resident on the client's memory ... a thin client-side library associates
+with each p_i the object id of the corresponding object exported by the
+mediator."  :class:`QdomNode` is that thin handle: it wraps the engine's
+:class:`~repro.engine.vtree.VNode` (whose structured ids do the heavy
+lifting) together with the mediator and the view plan the node belongs
+to, so that ``q(query, p)`` can decontextualize.
+"""
+
+from __future__ import annotations
+
+
+class QdomNode:
+    """A client handle on one node of a virtual query result.
+
+    Navigation methods mirror the paper's command names: :meth:`d`
+    (down), :meth:`r` (right), :meth:`fl` (label fetch), :meth:`fv`
+    (value fetch), and :meth:`q` (query in place).  ``None`` plays the
+    paper's ``⊥``.
+    """
+
+    __slots__ = ("_mediator", "_vnode", "view_plan")
+
+    def __init__(self, mediator, vnode, view_plan):
+        self._mediator = mediator
+        self._vnode = vnode
+        self.view_plan = view_plan
+
+    # -- navigation (Section 2) ----------------------------------------------------
+
+    def d(self):
+        """``d(p)``: the first child, or ``None`` on a leaf."""
+        child = self._vnode.down()
+        if child is None:
+            return None
+        return QdomNode(self._mediator, child, self.view_plan)
+
+    def r(self):
+        """``r(p)``: the right sibling, or ``None``."""
+        sibling = self._vnode.right()
+        if sibling is None:
+            return None
+        return QdomNode(self._mediator, sibling, self.view_plan)
+
+    def fl(self):
+        """``fl(p)``: the node's label."""
+        return self._vnode.label()
+
+    def fv(self):
+        """``fv(p)``: the leaf's value, or ``None`` on a non-leaf."""
+        return self._vnode.value()
+
+    def q(self, query_text):
+        """``q(query, p)``: run ``query`` with this node as its root.
+
+        The query's ``document(root)`` refers to this node.  Returns the
+        root :class:`QdomNode` of the new virtual answer.
+        """
+        return self._mediator.query_from(self, query_text)
+
+    # -- conveniences (not QDOM commands) --------------------------------------------
+
+    @property
+    def oid(self):
+        """The node id the mediator exports for this node."""
+        return self._vnode.node.oid
+
+    def children(self):
+        """All children (forces them)."""
+        out = []
+        child = self.d()
+        while child is not None:
+            out.append(child)
+            child = child.r()
+        return out
+
+    def find(self, label):
+        """First child with the given label, or ``None``."""
+        child = self.d()
+        while child is not None:
+            if child.fl() == label:
+                return child
+            child = child.r()
+        return None
+
+    def to_tree(self):
+        """Materialize the subtree into a plain Node tree."""
+        from repro.engine.vtree import vnode_to_tree
+
+        return vnode_to_tree(self._vnode)
+
+    def provenance(self):
+        """The decoded Section-5 payload of this node's id."""
+        return self._vnode.provenance()
+
+    @property
+    def vnode(self):
+        return self._vnode
+
+    def __repr__(self):
+        return "QdomNode({}:{})".format(self.oid, self.fl())

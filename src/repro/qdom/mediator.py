@@ -1,0 +1,191 @@
+"""The MIX mediator: the Fig.-1 architecture in one object.
+
+A query's lifecycle, exactly as the paper's architecture section lays it
+out: the XQuery text is translated to an XMAS plan, rewritten by the
+optimizer, the maximal relational parts are pushed to the sources as SQL
+(``rQ``), and the engine returns the root of a *virtual* result that the
+client navigates.  A query issued from a node of a previous result is
+first decontextualized (Section 5) or composed (Section 6), then goes
+through the same rewrite/push/evaluate pipeline.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import CompositionError
+from repro.algebra.plan import validate_plan
+from repro.algebra.translator import Translator
+from repro.composer import compose_at_root, decontextualize
+from repro.engine.lazy import LazyEngine
+from repro.engine.eager import EagerEngine
+from repro.engine.vtree import VNode
+from repro.qdom.api import QdomNode
+from repro.rewriter import Rewriter, push_to_sources
+from repro.sources.catalog import SourceCatalog
+from repro.stats import StatsRegistry
+from repro.xquery.parser import parse_xquery
+
+
+class Mediator:
+    """A MIX mediator over a catalog of wrapped sources.
+
+    Args:
+        catalog: an existing :class:`SourceCatalog` (one is created when
+            omitted).
+        stats: shared statistics registry; defaults to a fresh one.
+        optimize: run the Table-2 rewriter on every plan (on by default;
+            benchmarks switch it off to measure the naive pipeline).
+        push_sql: compile maximal relational subtrees to SQL ``rQ``
+            operators (on by default).
+        lazy: evaluate with the navigation-driven engine; ``False``
+            selects the eager full-materialization engine (the baseline
+            the paper argues against).
+    """
+
+    def __init__(self, catalog=None, stats=None, optimize=True,
+                 push_sql=True, lazy=True, dedup_groups=False):
+        self.catalog = catalog or SourceCatalog()
+        self.stats = stats or StatsRegistry()
+        self.optimize = optimize
+        self.push_sql = push_sql
+        self.lazy = lazy
+        self._translator = Translator(dedup_groups=dedup_groups)
+        self._rewriter = Rewriter()
+        self._view_ids = itertools.count(1)
+        self._views = {}  # view name -> tD-rooted plan
+
+    # -- configuration ------------------------------------------------------------
+
+    def add_source(self, source):
+        """Register a wrapped source (all its documents)."""
+        self.catalog.register(source)
+        return self
+
+    def define_view(self, name, query_text):
+        """Define a named *virtual* view.
+
+        The view is never materialized: queries that reference
+        ``document(name)`` are composed with the view's plan (Section 6)
+        and optimized as one, so the combined conditions reach the
+        sources.  Views may reference other views (composition repeats
+        to a fixpoint).  This is the "integrated views" role of the
+        Fig. 1 architecture, driven entirely by the composition
+        machinery.
+        """
+        if self.catalog.has_document(name):
+            raise CompositionError(
+                "view name {!r} collides with a source document".format(
+                    name
+                )
+            )
+        plan = self._translator.translate(
+            parse_xquery(query_text)
+            if isinstance(query_text, str)
+            else query_text,
+            root_oid=name,
+        )
+        validate_plan(plan)
+        self._views[name] = plan
+        return self
+
+    def view_names(self):
+        return sorted(self._views)
+
+    def _expand_views(self, plan):
+        """Compose every reference to a named view, to a fixpoint."""
+        from repro.composer.compose import root_source_operators
+
+        for __ in range(len(self._views) + 1):
+            expanded = False
+            for name, view_plan in self._views.items():
+                if root_source_operators(
+                    plan, name, include_query_root=False
+                ):
+                    plan = compose_at_root(
+                        view_plan, plan, view_id=name,
+                        include_query_root=False,
+                    )
+                    expanded = True
+            if not expanded:
+                return plan
+        raise CompositionError(
+            "view definitions are cyclic: {}".format(self.view_names())
+        )
+
+    # -- the client interface --------------------------------------------------------
+
+    def query(self, query_text):
+        """Run an XQuery against the registered sources and views.
+
+        Returns the root :class:`QdomNode` of the (virtual) answer.
+        """
+        plan = self.translate(query_text)
+        plan = self._expand_views(plan)
+        return self._run(plan)
+
+    def query_from(self, qdom_node, query_text):
+        """Run an XQuery whose ``document(root)`` is ``qdom_node``.
+
+        Implements the paper's ``q(query, p)``: the query is
+        decontextualized against the view that produced ``qdom_node``
+        and evaluated as an ordinary context-free query.
+        """
+        view_plan = qdom_node.view_plan
+        if view_plan is None:
+            raise CompositionError(
+                "this node does not belong to a mediator view"
+            )
+        query_plan = self.translate(query_text, assign_root=False)
+        query_plan = self._expand_views(query_plan)
+        vnode = qdom_node.vnode
+        if vnode.is_root:
+            composed = compose_at_root(view_plan, query_plan)
+        else:
+            provenance = vnode.require_query_root()
+            composed = decontextualize(view_plan, provenance, query_plan)
+        return self._run(composed)
+
+    # -- pipeline stages ----------------------------------------------------------------
+
+    def translate(self, query_text, assign_root=True):
+        """XQuery text (or parsed AST) to a validated XMAS plan."""
+        query = (
+            parse_xquery(query_text)
+            if isinstance(query_text, str)
+            else query_text
+        )
+        root_oid = (
+            "view{}".format(next(self._view_ids)) if assign_root else None
+        )
+        plan = self._translator.translate(query, root_oid=root_oid)
+        validate_plan(plan)
+        return plan
+
+    def optimize_plan(self, plan, trace=None):
+        """Rewrite and (optionally) push SQL.
+
+        Returns ``(executable_plan, compose_plan)``: the second is the
+        rewritten plan *before* SQL splitting — in-place queries compose
+        against it, because a plan with ``rQ`` leaves cannot be further
+        combined with new conditions and re-pushed.
+        """
+        if self.optimize:
+            plan = self._rewriter.rewrite(plan, trace=trace)
+        compose_plan = plan
+        if self.push_sql:
+            plan = push_to_sources(plan, self.catalog)
+        return plan, compose_plan
+
+    def _run(self, plan):
+        exec_plan, compose_plan = self.optimize_plan(plan)
+        if self.lazy:
+            engine = LazyEngine(self.catalog, stats=self.stats)
+            root = engine.evaluate_tree(exec_plan)
+        else:
+            engine = EagerEngine(self.catalog, stats=self.stats)
+            root = engine.evaluate_tree(exec_plan)
+        return QdomNode(self, VNode.root(root), compose_plan)
+
+    def __repr__(self):
+        return "Mediator(docs={})".format(self.catalog.document_ids())

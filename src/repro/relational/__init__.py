@@ -1,0 +1,39 @@
+"""A small relational database engine, built from scratch.
+
+The paper evaluates MIX over relational sources: the mediator pushes SQL
+queries to the source and pulls tuples through cursors ("relational
+databases support a basic form of partial result evaluation: the client
+issues an SQL query ... and receives a cursor").  This package provides
+that substrate:
+
+* typed tables with primary keys (:mod:`repro.relational.table`),
+* a SQL subset (SELECT/FROM/WHERE/ORDER BY plus DDL/DML) with a hand
+  written lexer/parser (:mod:`repro.relational.parser`),
+* a pipelined, generator-based executor with hash joins for equality
+  predicates (:mod:`repro.relational.executor`), and
+* cursors whose fetches *drive* evaluation, so tuples the mediator never
+  asks for are never computed (:mod:`repro.relational.cursor`).
+
+Every row that crosses a cursor is counted in the database's
+:class:`~repro.stats.StatsRegistry`, which is what the paper's
+"minimum amount of data transferred between the mediator and the
+sources" claims are measured against.
+"""
+
+from repro.relational.types import ColumnType, INTEGER, REAL, TEXT
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import Table
+from repro.relational.database import Database
+from repro.relational.cursor import Cursor
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Cursor",
+    "Database",
+    "INTEGER",
+    "REAL",
+    "TEXT",
+    "Table",
+    "TableSchema",
+]

@@ -1,0 +1,176 @@
+"""AST of the SQL subset.
+
+Statements::
+
+    SELECT item, ...  FROM table [alias], ...  [WHERE pred AND ...]
+        [ORDER BY colref, ...]
+    CREATE TABLE name (col TYPE, ..., [PRIMARY KEY (col, ...)])
+    INSERT INTO name VALUES (lit, ...), ...
+    DELETE FROM name [WHERE ...]
+    UPDATE name SET col = lit, ... [WHERE ...]
+
+Predicates are conjunctions of ``operand op operand`` where operands are
+column references or literals; this matches exactly what the mediator's
+SQL generator emits (Fig. 22) and what the paper's WHERE grammar allows.
+"""
+
+from __future__ import annotations
+
+#: Comparison operators, shared with the XMAS algebra conditions.
+COMPARISON_OPS = ("=", "!=", "<>", "<", "<=", ">", ">=")
+
+
+class ColRef:
+    """A (possibly qualified) column reference: ``alias.col`` or ``col``."""
+
+    __slots__ = ("qualifier", "column")
+
+    def __init__(self, column, qualifier=None):
+        self.column = column
+        self.qualifier = qualifier
+
+    def __repr__(self):
+        if self.qualifier:
+            return "{}.{}".format(self.qualifier, self.column)
+        return self.column
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ColRef)
+            and self.column == other.column
+            and self.qualifier == other.qualifier
+        )
+
+    def __hash__(self):
+        return hash((self.qualifier, self.column))
+
+
+class Literal:
+    """A constant operand (int, float, or str)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __repr__(self):
+        if isinstance(self.value, str):
+            return "'{}'".format(self.value.replace("'", "''"))
+        return repr(self.value)
+
+    def __eq__(self, other):
+        return isinstance(other, Literal) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("lit", self.value))
+
+
+class Predicate:
+    """``left op right`` with operands being :class:`ColRef`/:class:`Literal`."""
+
+    __slots__ = ("left", "op", "right")
+
+    def __init__(self, left, op, right):
+        self.left = left
+        self.op = "!=" if op == "<>" else op
+        self.right = right
+
+    def __repr__(self):
+        return "{!r} {} {!r}".format(self.left, self.op, self.right)
+
+
+class SelectItem:
+    """One projection item: a column ref (or ``*``) with an optional alias."""
+
+    __slots__ = ("ref", "alias")
+
+    STAR = "*"
+
+    def __init__(self, ref, alias=None):
+        self.ref = ref  # ColRef or the STAR marker
+        self.alias = alias
+
+    @property
+    def is_star(self):
+        return self.ref == SelectItem.STAR
+
+    def __repr__(self):
+        base = "*" if self.is_star else repr(self.ref)
+        return base + (" AS " + self.alias if self.alias else "")
+
+
+class TableRef:
+    """A FROM-clause entry: table name plus alias (alias defaults to name)."""
+
+    __slots__ = ("table", "alias")
+
+    def __init__(self, table, alias=None):
+        self.table = table
+        self.alias = alias or table
+
+    def __repr__(self):
+        if self.alias != self.table:
+            return "{} {}".format(self.table, self.alias)
+        return self.table
+
+
+class SelectStmt:
+    """A parsed SELECT query."""
+
+    def __init__(self, items, tables, predicates=(), order_by=(),
+                 distinct=False):
+        self.items = list(items)
+        self.tables = list(tables)
+        self.predicates = list(predicates)
+        self.order_by = list(order_by)  # ColRefs
+        self.distinct = distinct
+
+    def __repr__(self):
+        parts = [
+            "SELECT "
+            + ("DISTINCT " if self.distinct else "")
+            + ", ".join(repr(i) for i in self.items),
+            "FROM " + ", ".join(repr(t) for t in self.tables),
+        ]
+        if self.predicates:
+            parts.append(
+                "WHERE " + " AND ".join(repr(p) for p in self.predicates)
+            )
+        if self.order_by:
+            parts.append(
+                "ORDER BY " + ", ".join(repr(c) for c in self.order_by)
+            )
+        return " ".join(parts)
+
+
+class CreateTableStmt:
+    def __init__(self, name, columns, primary_key=()):
+        self.name = name
+        self.columns = list(columns)  # [(name, ColumnType)]
+        self.primary_key = tuple(primary_key)
+
+
+class CreateIndexStmt:
+    def __init__(self, name, table, columns):
+        self.name = name
+        self.table = table
+        self.columns = tuple(columns)
+
+
+class InsertStmt:
+    def __init__(self, table, rows):
+        self.table = table
+        self.rows = [list(r) for r in rows]
+
+
+class DeleteStmt:
+    def __init__(self, table, predicates=()):
+        self.table = table
+        self.predicates = list(predicates)
+
+
+class UpdateStmt:
+    def __init__(self, table, assignments, predicates=()):
+        self.table = table
+        self.assignments = list(assignments)  # [(col_name, Literal)]
+        self.predicates = list(predicates)

@@ -1,0 +1,77 @@
+"""Cursors: the pull interface between the mediator and a source.
+
+Every row fetched through a cursor is counted under
+:data:`repro.stats.TUPLES_SHIPPED` — this is *the* boundary the paper's
+efficiency arguments are about ("the transfer of the minimum amount of
+data between the mediator and the sources").
+"""
+
+from __future__ import annotations
+
+from repro import stats as statnames
+
+
+class Cursor:
+    """A forward-only cursor over a row generator.
+
+    Supports the DB-API-flavoured ``fetchone`` / ``fetchmany`` /
+    ``fetchall`` plus plain iteration.  Closing the cursor abandons the
+    underlying generator, so unread rows are never computed.
+    """
+
+    def __init__(self, column_names, rows, stats=None):
+        self.column_names = list(column_names)
+        self._rows = iter(rows)
+        self._stats = stats
+        self._closed = False
+        self.rows_fetched = 0
+
+    def fetchone(self):
+        """The next row, or ``None`` when exhausted."""
+        if self._closed:
+            return None
+        try:
+            row = next(self._rows)
+        except StopIteration:
+            self._closed = True
+            return None
+        self.rows_fetched += 1
+        if self._stats is not None:
+            self._stats.incr(statnames.TUPLES_SHIPPED)
+        return row
+
+    def fetchmany(self, size):
+        """Up to ``size`` rows (possibly fewer at the end)."""
+        out = []
+        for _ in range(size):
+            row = self.fetchone()
+            if row is None:
+                break
+            out.append(row)
+        return out
+
+    def fetchall(self):
+        """All remaining rows."""
+        out = []
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return out
+            out.append(row)
+
+    def close(self):
+        """Abandon the cursor; subsequent fetches return ``None``."""
+        self._closed = True
+
+    def __iter__(self):
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    def __repr__(self):
+        state = "closed" if self._closed else "open"
+        return "Cursor({}, {} fetched, {})".format(
+            self.column_names, self.rows_fetched, state
+        )

@@ -1,0 +1,146 @@
+"""The database facade: tables, DDL/DML, and query execution."""
+
+from __future__ import annotations
+
+from repro import stats as statnames
+from repro.errors import SchemaError, SqlError
+from repro.relational import ast
+from repro.relational.cursor import Cursor
+from repro.relational.executor import compare, execute_select
+from repro.relational.parser import parse_sql
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import Table
+from repro.stats import StatsRegistry
+
+
+class Database:
+    """A named collection of tables plus a statistics registry.
+
+    Example::
+
+        db = Database("auction")
+        db.run("CREATE TABLE customer (id TEXT, name TEXT, addr TEXT,"
+               " PRIMARY KEY (id))")
+        db.run("INSERT INTO customer VALUES ('XYZ', 'XYZInc.', 'LosAngeles')")
+        cursor = db.execute("SELECT id, name FROM customer ORDER BY id")
+        cursor.fetchone()   # ('XYZ', 'XYZInc.')
+    """
+
+    def __init__(self, name="db", stats=None):
+        self.name = name
+        self.stats = stats or StatsRegistry()
+        self._tables = {}
+
+    # -- schema ---------------------------------------------------------------
+
+    def create_table(self, name, columns, primary_key=()):
+        """Create a table from ``[(col_name, ColumnType), ...]``."""
+        if name in self._tables:
+            raise SchemaError("table {!r} already exists".format(name))
+        schema = TableSchema(
+            name, [Column(n, t) for n, t in columns], primary_key
+        )
+        table = Table(schema, stats=self.stats)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name):
+        self.table(name)  # raises when absent
+        del self._tables[name]
+
+    def table(self, name):
+        """The :class:`Table` called ``name`` (raises :class:`SchemaError`)."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError("no table {!r} in database {!r}".format(
+                name, self.name
+            ))
+
+    def table_names(self):
+        return sorted(self._tables)
+
+    def has_table(self, name):
+        return name in self._tables
+
+    # -- statement execution ----------------------------------------------------
+
+    def execute(self, sql):
+        """Execute a SELECT; returns a :class:`Cursor`.
+
+        Issuing the statement counts one :data:`repro.stats.SQL_QUERIES`;
+        rows are counted as shipped only when fetched.
+        """
+        stmt = parse_sql(sql)
+        if not isinstance(stmt, ast.SelectStmt):
+            raise SqlError("execute() is for SELECT; use run() for DDL/DML")
+        self.stats.incr(statnames.SQL_QUERIES)
+        names, rows = execute_select(self, stmt)
+        return Cursor(names, rows, stats=self.stats)
+
+    def run(self, sql):
+        """Execute DDL/DML; returns the affected row count."""
+        stmt = parse_sql(sql)
+        if isinstance(stmt, ast.SelectStmt):
+            raise SqlError("run() is for DDL/DML; use execute() for SELECT")
+        if isinstance(stmt, ast.CreateTableStmt):
+            self.create_table(stmt.name, stmt.columns, stmt.primary_key)
+            return 0
+        if isinstance(stmt, ast.CreateIndexStmt):
+            self.table(stmt.table).create_index(stmt.columns)
+            return 0
+        if isinstance(stmt, ast.InsertStmt):
+            table = self.table(stmt.table)
+            return table.insert_many(stmt.rows)
+        if isinstance(stmt, ast.DeleteStmt):
+            table = self.table(stmt.table)
+            pred = self._row_predicate(table, stmt.predicates)
+            return table.delete_where(pred)
+        if isinstance(stmt, ast.UpdateStmt):
+            table = self.table(stmt.table)
+            pred = self._row_predicate(table, stmt.predicates)
+            assignments = [
+                (table.schema.column_index(col), lit.value)
+                for col, lit in stmt.assignments
+            ]
+
+            def updater(row):
+                new_row = list(row)
+                for idx, value in assignments:
+                    new_row[idx] = value
+                return new_row
+
+            return table.update_where(pred, updater)
+        raise SqlError("unsupported statement {!r}".format(stmt))
+
+    def _row_predicate(self, table, predicates):
+        """Compile WHERE predicates into a single-row test for DML."""
+        compiled = []
+        for p in predicates:
+            left = self._dml_operand(table, p.left)
+            right = self._dml_operand(table, p.right)
+            compiled.append((left, p.op, right))
+
+        def test(row):
+            return all(
+                compare(lhs(row), op, rhs(row)) for lhs, op, rhs in compiled
+            )
+
+        return test
+
+    @staticmethod
+    def _dml_operand(table, operand):
+        if isinstance(operand, ast.Literal):
+            value = operand.value
+            return lambda row: value
+        if operand.qualifier not in (None, table.schema.name):
+            raise SchemaError(
+                "DML predicates may only reference {!r}".format(
+                    table.schema.name
+                )
+            )
+        idx = table.schema.column_index(operand.column)
+        return lambda row, i=idx: row[i]
+
+    def __repr__(self):
+        return "Database({}, tables={})".format(self.name, self.table_names())

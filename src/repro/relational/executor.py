@@ -1,0 +1,372 @@
+"""Pipelined executor for the SQL subset.
+
+Evaluation is generator-based end to end: nothing past the rows a cursor
+has actually fetched is computed (except where semantics force
+materialization — the build side of a hash join and ORDER BY sorting).
+This mirrors the pipelined, cursor-driven evaluation the paper assumes of
+relational sources and is what makes the mediator's navigation-driven
+evaluation effective down to the base tables.
+
+Join strategy: predicates are classified into per-alias filters (applied
+on the scan), equi-join predicates (hash joins), and residual cross-alias
+predicates (filtered after a nested-loop/cross product).  The join order
+greedily follows equi-join connectivity from the first FROM entry.
+"""
+
+from __future__ import annotations
+
+import operator
+
+from repro.errors import SchemaError, SqlError
+from repro.relational import ast
+
+_OPS = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+def compare(left, op, right):
+    """Three-valued-ish comparison: any NULL operand yields False."""
+    if left is None or right is None:
+        return False
+    if isinstance(left, bool) or isinstance(right, bool):
+        raise SqlError("boolean values are not comparable")
+    numeric = isinstance(left, (int, float)) and isinstance(right, (int, float))
+    if not numeric and type(left) is not type(right):
+        # Heterogeneous comparison (e.g. '5' vs 5): only (in)equality is
+        # defined, and values of different types are never equal.
+        if op == "=":
+            return False
+        if op == "!=":
+            return True
+        return False
+    return _OPS[op](left, right)
+
+
+class _Binding:
+    """Name resolution for one SELECT: alias -> (table, column offsets)."""
+
+    def __init__(self, database, table_refs):
+        self.aliases = []
+        self.tables = {}
+        self.offsets = {}
+        self.widths = {}
+        offset = 0
+        for ref in table_refs:
+            if ref.alias in self.tables:
+                raise SqlError("duplicate alias {!r}".format(ref.alias))
+            table = database.table(ref.table)
+            self.aliases.append(ref.alias)
+            self.tables[ref.alias] = table
+            self.offsets[ref.alias] = offset
+            self.widths[ref.alias] = len(table.schema.columns)
+            offset += self.widths[ref.alias]
+        self.total_width = offset
+
+    def resolve(self, colref):
+        """Map a :class:`ColRef` to (alias, flat offset)."""
+        if colref.qualifier is not None:
+            alias = colref.qualifier
+            if alias not in self.tables:
+                raise SchemaError("unknown alias {!r}".format(alias))
+            idx = self.tables[alias].schema.column_index(colref.column)
+            return alias, self.offsets[alias] + idx
+        candidates = [
+            alias
+            for alias in self.aliases
+            if self.tables[alias].schema.has_column(colref.column)
+        ]
+        if not candidates:
+            raise SchemaError("unknown column {!r}".format(colref.column))
+        if len(candidates) > 1:
+            raise SchemaError(
+                "ambiguous column {!r} (in {})".format(
+                    colref.column, ", ".join(candidates)
+                )
+            )
+        alias = candidates[0]
+        idx = self.tables[alias].schema.column_index(colref.column)
+        return alias, self.offsets[alias] + idx
+
+
+class _Operand:
+    """A resolved predicate operand: flat-row getter plus metadata used
+    for index selection (the column name, or the literal value)."""
+
+    _NO_LITERAL = object()
+
+    def __init__(self, getter, aliases, column=None,
+                 literal=_NO_LITERAL):
+        self.get = getter
+        self.aliases = aliases
+        self.column = column
+        self._literal = literal
+
+    @property
+    def is_literal(self):
+        return self._literal is not _Operand._NO_LITERAL
+
+    @property
+    def literal(self):
+        return self._literal
+
+
+def _resolve_operand(binding, operand):
+    if isinstance(operand, ast.Literal):
+        value = operand.value
+        return _Operand(
+            lambda row: value, frozenset(), literal=value
+        )
+    alias, pos = binding.resolve(operand)
+    return _Operand(
+        lambda row, p=pos: row[p], frozenset([alias]),
+        column=operand.column,
+    )
+
+
+class _ResolvedPredicate:
+    def __init__(self, binding, predicate):
+        self.left = _resolve_operand(binding, predicate.left)
+        self.op = predicate.op
+        self.right = _resolve_operand(binding, predicate.right)
+        self.aliases = self.left.aliases | self.right.aliases
+
+    def test(self, row):
+        return compare(self.left.get(row), self.op, self.right.get(row))
+
+    def equality_binding(self):
+        """``(column, literal)`` when this is ``col = const``, else None."""
+        if self.op != "=":
+            return None
+        if self.left.column is not None and self.right.is_literal:
+            return self.left.column, self.right.literal
+        if self.right.column is not None and self.left.is_literal:
+            return self.right.column, self.left.literal
+        return None
+
+
+def execute_select(database, stmt):
+    """Evaluate a SELECT; returns ``(column_names, row_generator)``."""
+    binding = _Binding(database, stmt.tables)
+    predicates = [_ResolvedPredicate(binding, p) for p in stmt.predicates]
+    rows = _join_pipeline(binding, predicates)
+    if stmt.order_by:
+        keys = [binding.resolve(c)[1] for c in stmt.order_by]
+        rows = _sorted_stream(rows, keys)
+    names, positions = _projection(binding, stmt.items)
+    projected = (tuple(row[p] for p in positions) for row in rows)
+    if stmt.distinct:
+        projected = _distinct_stream(projected)
+    return names, projected
+
+
+def _distinct_stream(rows):
+    seen = set()
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            yield row
+
+
+def _projection(binding, items):
+    names = []
+    positions = []
+    for item in items:
+        if item.is_star:
+            for alias in binding.aliases:
+                table = binding.tables[alias]
+                base = binding.offsets[alias]
+                for i, col in enumerate(table.schema.columns):
+                    names.append(col.name)
+                    positions.append(base + i)
+        else:
+            alias_name = item.alias or item.ref.column
+            __, pos = binding.resolve(item.ref)
+            names.append(alias_name)
+            positions.append(pos)
+    return names, positions
+
+
+def _sorted_stream(rows, key_positions):
+    materialized = list(rows)
+    materialized.sort(key=lambda row: tuple(_sort_key(row[p]) for p in key_positions))
+    return iter(materialized)
+
+
+def _sort_key(value):
+    """A total order over NULLs, numbers, and strings (NULLs first)."""
+    if value is None:
+        return (0, 0, "")
+    if isinstance(value, (int, float)):
+        return (1, value, "")
+    return (2, 0, str(value))
+
+
+def _join_pipeline(binding, predicates):
+    """Build the lazily evaluated join tree over all FROM entries."""
+    remaining_preds = list(predicates)
+    joined_aliases = set()
+    stream = None
+
+    def scan_alias(alias):
+        """Filtered scan of one alias, padded into the flat row layout.
+
+        Equality predicates covered by a secondary index turn the scan
+        into an index probe; remaining predicates filter on top.
+        """
+        local = [
+            p
+            for p in remaining_preds
+            if p.aliases and p.aliases <= {alias}
+        ]
+        for p in local:
+            remaining_preds.remove(p)
+        table = binding.tables[alias]
+        base = binding.offsets[alias]
+        width = binding.total_width
+        index_columns, index_values = _pick_index(table, local)
+
+        def generator():
+            if index_columns is not None:
+                rows = table.index_scan(index_columns, index_values)
+            else:
+                rows = table.scan()
+            for row in rows:
+                flat = [None] * width
+                flat[base : base + len(row)] = row
+                flat = tuple(flat)
+                if all(p.test(flat) for p in local):
+                    yield flat
+
+        return generator
+
+    pending = list(binding.aliases)
+    while pending:
+        alias = _next_alias(pending, joined_aliases, remaining_preds)
+        pending.remove(alias)
+        if stream is None:
+            stream = scan_alias(alias)
+            joined_aliases.add(alias)
+            continue
+        equi = [
+            p
+            for p in remaining_preds
+            if p.op == "="
+            and len(p.aliases) == 2
+            and alias in p.aliases
+            and (p.aliases - {alias}) <= joined_aliases
+        ]
+        cross = [
+            p
+            for p in remaining_preds
+            if p.op != "="
+            and alias in p.aliases
+            and (p.aliases - {alias}) <= joined_aliases
+            and len(p.aliases) == 2
+        ]
+        for p in equi + cross:
+            remaining_preds.remove(p)
+        stream = _hash_join(stream, scan_alias(alias), alias, equi, cross)
+        joined_aliases.add(alias)
+
+    if stream is None:
+        raise SqlError("SELECT requires at least one table")
+
+    final_preds = list(remaining_preds)
+
+    def finalize():
+        for row in stream():
+            if all(p.test(row) for p in final_preds):
+                yield row
+
+    return finalize()
+
+
+def _pick_index(table, local_predicates):
+    """The most-covering secondary index usable for the local equality
+    predicates; returns ``(columns, values)`` or ``(None, None)``."""
+    bindings = {}
+    for p in local_predicates:
+        eq = p.equality_binding()
+        if eq is not None:
+            bindings.setdefault(eq[0], eq[1])
+    best = None
+    for columns in table.indexes():
+        if all(c in bindings for c in columns):
+            if best is None or len(columns) > len(best):
+                best = columns
+    if best is None:
+        return None, None
+    return best, [bindings[c] for c in best]
+
+
+def _next_alias(pending, joined, predicates):
+    """Prefer an alias equi-connected to the already-joined set."""
+    if not joined:
+        return pending[0]
+    for alias in pending:
+        for p in predicates:
+            if (
+                p.op == "="
+                and alias in p.aliases
+                and len(p.aliases) == 2
+                and (p.aliases - {alias}) <= joined
+            ):
+                return alias
+    return pending[0]
+
+
+def _hash_join(probe_stream, build_scan, build_alias, equi_preds, cross_preds):
+    """Hash join (or filtered cross product when no equi predicate).
+
+    The build side (the newly joined alias) is materialized into a hash
+    table on first pull; the probe side stays pipelined, so cursor pulls
+    still drive how much of the *probe* input is consumed.
+    """
+
+    def build_key_getters():
+        probe_getters = []
+        build_getters = []
+        for p in equi_preds:
+            if p.left.aliases == frozenset([build_alias]):
+                build_getters.append(p.left.get)
+                probe_getters.append(p.right.get)
+            else:
+                build_getters.append(p.right.get)
+                probe_getters.append(p.left.get)
+        return probe_getters, build_getters
+
+    def generator():
+        probe_getters, build_getters = build_key_getters()
+        if equi_preds:
+            buckets = {}
+            for row in build_scan():
+                key = tuple(g(row) for g in build_getters)
+                buckets.setdefault(key, []).append(row)
+            for probe_row in probe_stream():
+                key = tuple(g(probe_row) for g in probe_getters)
+                for build_row in buckets.get(key, ()):
+                    merged = _merge(probe_row, build_row)
+                    if all(p.test(merged) for p in cross_preds):
+                        yield merged
+        else:
+            build_rows = list(build_scan())
+            for probe_row in probe_stream():
+                for build_row in build_rows:
+                    merged = _merge(probe_row, build_row)
+                    if all(p.test(merged) for p in cross_preds):
+                        yield merged
+
+    return generator
+
+
+def _merge(row_a, row_b):
+    """Overlay two flat rows (their populated slot ranges are disjoint)."""
+    return tuple(
+        b if a is None else a for a, b in zip(row_a, row_b)
+    )

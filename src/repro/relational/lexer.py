@@ -1,0 +1,109 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+from repro.errors import SqlParseError
+
+#: Token kinds.
+KEYWORD = "KEYWORD"
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+STRING = "STRING"
+SYMBOL = "SYMBOL"
+EOF = "EOF"
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "AND", "ORDER", "BY", "AS",
+    "CREATE", "TABLE", "PRIMARY", "KEY", "INDEX", "ON",
+    "INSERT", "INTO", "VALUES",
+    "DELETE", "UPDATE", "SET", "NULL", "ASC", "DESC",
+}
+
+_SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ".", "*")
+
+
+class Token:
+    __slots__ = ("kind", "text", "value", "pos")
+
+    def __init__(self, kind, text, value=None, pos=0):
+        self.kind = kind
+        self.text = text
+        self.value = value if value is not None else text
+        self.pos = pos
+
+    def __repr__(self):
+        return "Token({}, {!r})".format(self.kind, self.text)
+
+
+def tokenize(sql):
+    """Tokenize ``sql`` into a list of :class:`Token` ending with EOF."""
+    tokens = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch == "'":
+            j = i + 1
+            parts = []
+            while True:
+                if j >= n:
+                    raise SqlParseError("unterminated string literal", sql, i)
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(sql[j])
+                j += 1
+            tokens.append(Token(STRING, sql[i : j + 1], "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (
+            ch in "+-" and i + 1 < n and sql[i + 1].isdigit()
+        ):
+            j = i + 1
+            is_float = False
+            while j < n and (sql[j].isdigit() or sql[j] == "."):
+                if sql[j] == ".":
+                    # Guard against "a.b" qualified names: a dot not
+                    # followed by a digit ends the number.
+                    if j + 1 >= n or not sql[j + 1].isdigit():
+                        break
+                    is_float = True
+                j += 1
+            text = sql[i:j]
+            value = float(text) if is_float else int(text)
+            tokens.append(Token(NUMBER, text, value, i))
+            i = j
+            continue
+        matched_symbol = None
+        for sym in _SYMBOLS:
+            if sql.startswith(sym, i):
+                matched_symbol = sym
+                break
+        if matched_symbol:
+            tokens.append(Token(SYMBOL, matched_symbol, pos=i))
+            i += len(matched_symbol)
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token(KEYWORD, word.upper(), pos=i))
+            else:
+                tokens.append(Token(IDENT, word, pos=i))
+            i = j
+            continue
+        raise SqlParseError("unexpected character {!r}".format(ch), sql, i)
+    tokens.append(Token(EOF, "", pos=n))
+    return tokens

@@ -1,0 +1,78 @@
+"""Saving and loading databases as JSON files.
+
+The substrate is in-memory; persistence lets examples and experiments
+snapshot a generated workload and reload it later (or inspect it by
+hand).  The format is plain JSON: schemas (with types, keys, and
+secondary indexes) plus row data.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import SqlError
+from repro.relational.database import Database
+from repro.relational.types import TYPE_NAMES
+
+_FORMAT_VERSION = 1
+
+
+def dump_database(database, path=None):
+    """Serialize ``database`` to a JSON string (and to ``path`` if given)."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "name": database.name,
+        "tables": [],
+    }
+    for table_name in database.table_names():
+        table = database.table(table_name)
+        schema = table.schema
+        payload["tables"].append(
+            {
+                "name": schema.name,
+                "columns": [
+                    {"name": c.name, "type": c.type.name}
+                    for c in schema.columns
+                ],
+                "primary_key": list(schema.primary_key),
+                "indexes": [list(cols) for cols in table.indexes()],
+                "rows": [list(row) for row in table.rows_snapshot()],
+            }
+        )
+    text = json.dumps(payload, indent=2)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return text
+
+
+def load_database(source, stats=None):
+    """Rebuild a database from :func:`dump_database` output.
+
+    ``source`` is a JSON string or a file path.
+    """
+    if "\n" not in source and not source.lstrip().startswith("{"):
+        with open(source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = source
+    payload = json.loads(text)
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise SqlError(
+            "unsupported database dump version {!r}".format(version)
+        )
+    database = Database(payload.get("name", "db"), stats=stats)
+    for spec in payload["tables"]:
+        columns = [
+            (c["name"], TYPE_NAMES[c["type"].upper()])
+            for c in spec["columns"]
+        ]
+        table = database.create_table(
+            spec["name"], columns, tuple(spec.get("primary_key", ()))
+        )
+        for row in spec.get("rows", ()):
+            table.insert(row)
+        for index_columns in spec.get("indexes", ()):
+            table.create_index(index_columns)
+    return database

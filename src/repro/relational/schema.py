@@ -1,0 +1,104 @@
+"""Schema objects: columns and table schemas with primary keys."""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.relational.types import ColumnType
+
+
+class Column:
+    """A named, typed column."""
+
+    __slots__ = ("name", "type")
+
+    def __init__(self, name, col_type):
+        if not isinstance(col_type, ColumnType):
+            raise SchemaError(
+                "column {!r} needs a ColumnType, got {!r}".format(name, col_type)
+            )
+        self.name = name
+        self.type = col_type
+
+    def __repr__(self):
+        return "{} {}".format(self.name, self.type.name)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Column)
+            and self.name == other.name
+            and self.type == other.type
+        )
+
+    def __hash__(self):
+        return hash((self.name, self.type))
+
+
+class TableSchema:
+    """A table's name, ordered columns, and (optional) primary key.
+
+    The primary key matters beyond integrity: the relational wrapper uses
+    key values as the XML oids of tuple objects (the paper's ``&XYZ123``),
+    which is what decontextualization decodes.
+    """
+
+    def __init__(self, name, columns, primary_key=()):
+        self.name = name
+        self.columns = tuple(columns)
+        if not self.columns:
+            raise SchemaError("table {!r} needs at least one column".format(name))
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError("duplicate column names in table {!r}".format(name))
+        self._index = {c.name: i for i, c in enumerate(self.columns)}
+        self.primary_key = tuple(primary_key)
+        for key_col in self.primary_key:
+            if key_col not in self._index:
+                raise SchemaError(
+                    "primary key column {!r} not in table {!r}".format(
+                        key_col, name
+                    )
+                )
+
+    @property
+    def column_names(self):
+        return [c.name for c in self.columns]
+
+    def has_column(self, name):
+        return name in self._index
+
+    def column_index(self, name):
+        """Position of column ``name`` (raises :class:`SchemaError`)."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                "no column {!r} in table {!r}".format(name, self.name)
+            )
+
+    def column(self, name):
+        return self.columns[self.column_index(name)]
+
+    def key_indexes(self):
+        """Column positions of the primary key (empty if keyless)."""
+        return [self._index[k] for k in self.primary_key]
+
+    def validate_row(self, values):
+        """Coerce a row to the column types; raises on arity/type errors."""
+        if len(values) != len(self.columns):
+            raise SchemaError(
+                "table {!r} expects {} values, got {}".format(
+                    self.name, len(self.columns), len(values)
+                )
+            )
+        return tuple(
+            col.type.accept(v) for col, v in zip(self.columns, values)
+        )
+
+    def __repr__(self):
+        cols = ", ".join(repr(c) for c in self.columns)
+        pk = (
+            ", PRIMARY KEY ({})".format(", ".join(self.primary_key))
+            if self.primary_key
+            else ""
+        )
+        return "TableSchema({} ({}{}))".format(self.name, cols, pk)

@@ -1,0 +1,175 @@
+"""In-memory tables with primary-key enforcement and scan counting."""
+
+from __future__ import annotations
+
+from repro.errors import IntegrityError, SchemaError
+from repro import stats as statnames
+
+
+class Table:
+    """Rows of a single relation, stored as tuples in insertion order.
+
+    A primary-key index (when the schema declares a key) gives O(1)
+    point lookups, which the executor uses for key-equality predicates
+    and the wrapper for oid-driven fetches.
+    """
+
+    def __init__(self, schema, stats=None):
+        self.schema = schema
+        self._rows = []
+        self._stats = stats
+        self._key_index = {} if schema.primary_key else None
+        self._secondary = {}  # tuple(column names) -> {values: [positions]}
+
+    def __len__(self):
+        return len(self._rows)
+
+    # -- mutation ------------------------------------------------------------
+
+    def insert(self, values):
+        """Insert one row (a sequence of values in column order)."""
+        row = self.schema.validate_row(values)
+        if self._key_index is not None:
+            key = tuple(row[i] for i in self.schema.key_indexes())
+            if key in self._key_index:
+                raise IntegrityError(
+                    "duplicate primary key {!r} in table {!r}".format(
+                        key, self.schema.name
+                    )
+                )
+            self._key_index[key] = len(self._rows)
+        position = len(self._rows)
+        self._rows.append(row)
+        for columns, index in self._secondary.items():
+            index.setdefault(self._index_key(columns, row), []).append(
+                position
+            )
+        return row
+
+    def insert_many(self, rows):
+        """Insert several rows; returns the number inserted."""
+        count = 0
+        for values in rows:
+            self.insert(values)
+            count += 1
+        return count
+
+    def delete_where(self, predicate):
+        """Delete rows for which ``predicate(row)`` is true; returns count."""
+        kept = [r for r in self._rows if not predicate(r)]
+        removed = len(self._rows) - len(kept)
+        if removed:
+            self._rows = kept
+            self._rebuild_key_index()
+        return removed
+
+    def update_where(self, predicate, updater):
+        """Apply ``updater(row) -> new_row`` to matching rows."""
+        changed = 0
+        new_rows = []
+        for row in self._rows:
+            if predicate(row):
+                new_rows.append(self.schema.validate_row(updater(row)))
+                changed += 1
+            else:
+                new_rows.append(row)
+        if changed:
+            self._rows = new_rows
+            self._rebuild_key_index()
+        return changed
+
+    def _rebuild_key_index(self):
+        if self._key_index is not None:
+            self._key_index = {}
+            key_idx = self.schema.key_indexes()
+            for pos, row in enumerate(self._rows):
+                key = tuple(row[i] for i in key_idx)
+                if key in self._key_index:
+                    raise IntegrityError(
+                        "update produced duplicate key {!r} in {!r}".format(
+                            key, self.schema.name
+                        )
+                    )
+                self._key_index[key] = pos
+        for columns in self._secondary:
+            self._secondary[columns] = self._build_secondary(columns)
+
+    # -- secondary indexes ------------------------------------------------------
+
+    def create_index(self, columns):
+        """Create (or return) a hash index on ``columns``.
+
+        Used by the executor for equality predicates; maintained on
+        insert and rebuilt on delete/update.
+        """
+        key = tuple(columns)
+        for name in key:
+            self.schema.column_index(name)  # validates
+        if key not in self._secondary:
+            self._secondary[key] = self._build_secondary(key)
+        return key
+
+    def indexes(self):
+        """The column tuples of all secondary indexes."""
+        return sorted(self._secondary)
+
+    def has_index(self, columns):
+        return tuple(columns) in self._secondary
+
+    def _build_secondary(self, columns):
+        index = {}
+        for position, row in enumerate(self._rows):
+            index.setdefault(self._index_key(columns, row), []).append(
+                position
+            )
+        return index
+
+    def _index_key(self, columns, row):
+        return tuple(row[self.schema.column_index(c)] for c in columns)
+
+    def index_scan(self, columns, values):
+        """Rows whose ``columns`` equal ``values``, via the hash index.
+
+        Each returned row counts as scanned; the probe itself counts one
+        ``index_lookups``.
+        """
+        key = tuple(columns)
+        if key not in self._secondary:
+            raise SchemaError(
+                "no index on {} of table {!r}".format(key, self.schema.name)
+            )
+        if self._stats is not None:
+            self._stats.incr(statnames.INDEX_LOOKUPS)
+        for position in self._secondary[key].get(tuple(values), ()):
+            if self._stats is not None:
+                self._stats.incr(statnames.ROWS_SCANNED)
+            yield self._rows[position]
+
+    # -- access --------------------------------------------------------------
+
+    def scan(self):
+        """Generator over all rows; each yielded row counts as scanned."""
+        for row in self._rows:
+            if self._stats is not None:
+                self._stats.incr(statnames.ROWS_SCANNED)
+            yield row
+
+    def lookup_key(self, key):
+        """Point lookup by primary key tuple; ``None`` when absent."""
+        if self._key_index is None:
+            raise SchemaError(
+                "table {!r} has no primary key".format(self.schema.name)
+            )
+        pos = self._key_index.get(tuple(key))
+        if pos is None:
+            return None
+        if self._stats is not None:
+            self._stats.incr(statnames.ROWS_SCANNED)
+        return self._rows[pos]
+
+    def rows_snapshot(self):
+        """A copy of all rows, *not* counted as scanned (test helper)."""
+        return list(self._rows)
+
+    def __repr__(self):
+        return "Table({}, {} rows)".format(self.schema.name, len(self._rows))

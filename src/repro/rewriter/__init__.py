@@ -1,0 +1,32 @@
+"""The rewriting optimizer (Section 6 and Table 2 of the paper).
+
+"Efficient composition plans are derived in MIX by having a rewriter
+module optimize the straightforward (and inefficient) composition plans."
+The rewriter
+
+* eliminates the ``mksrc``/``tD`` pairs that naive composition creates
+  (rule 11),
+* matches the path expressions of the composed query's ``getD`` operators
+  against the element structure the view's ``crElt``/``cat`` operators
+  build, pushing them below element creation (rules 1-8) or proving them
+  unsatisfiable (rule 4 → :class:`~repro.algebra.operators.Empty`),
+* pushes ``getD``s into the nested plans of ``apply`` by introducing a
+  join on the group variables (rule 9),
+* pushes selections down as far as possible,
+* converts joins whose one side feeds nothing downstream into semijoins
+  (the live-variable analysis of Fig. 19-20),
+* pushes semijoins below group-by (rule 12), and finally
+* carves the maximal relational subtree out of the plan and compiles it
+  into a single SQL query with the right ORDER BY — the ``rQ`` operator
+  of Fig. 22 (:mod:`repro.rewriter.sql_split`).
+
+:class:`~repro.rewriter.engine.Rewriter` applies the rule set to a
+fixpoint and records a step-by-step trace, which is what regenerates the
+paper's Figures 13 through 21.
+"""
+
+from repro.rewriter.engine import Rewriter, RewriteStep
+from repro.rewriter.rules import DEFAULT_RULES
+from repro.rewriter.sql_split import push_to_sources
+
+__all__ = ["DEFAULT_RULES", "RewriteStep", "Rewriter", "push_to_sources"]

@@ -1,0 +1,136 @@
+"""Shared analysis helpers for the rewrite rules.
+
+The rules of Table 2 have side conditions that are not purely structural:
+which label a variable's elements carry (to match a ``getD`` path against
+a ``crElt``), which variables are still *live* above a node (to turn a
+join into a semijoin), which labels a list variable's items can have (to
+resolve a ``getD`` over a ``cat``).  :class:`RewriteContext` computes all
+of these against the current whole plan.
+"""
+
+from __future__ import annotations
+
+from repro.algebra import operators as ops
+from repro.algebra.plan import VarFactory, iter_operators
+from repro.xmltree.paths import Step
+
+
+class RewriteContext:
+    """Analyses over the full plan a rule is being applied within."""
+
+    def __init__(self, root):
+        self.root = root
+        self.vars = VarFactory(root)
+
+    # -- labels ------------------------------------------------------------------
+
+    def var_labels(self, var, scope=None):
+        """The set of labels elements bound to ``var`` may carry.
+
+        ``None`` in the set means "unknown" (give up matching).
+        """
+        scope = scope if scope is not None else self.root
+        labels = set()
+        found = False
+        for node in iter_operators(scope):
+            if isinstance(node, ops.CrElt) and node.out_var == var:
+                labels.add(node.label)
+                found = True
+            elif isinstance(node, ops.GetD) and node.out_var == var:
+                label = _last_label(node.path)
+                labels.add(label)  # may be None (wildcard/data step)
+                found = True
+            elif isinstance(node, ops.RelQuery):
+                for entry in node.varmap:
+                    if entry.var == var:
+                        labels.add(entry.label)
+                        found = True
+            elif isinstance(node, ops.MkSrc) and node.var == var:
+                labels.add(None)
+                found = True
+        if not found:
+            labels.add(None)
+        return labels
+
+    def list_item_labels(self, var, scope=None):
+        """Possible labels of the items of the list bound to ``var``.
+
+        Chases ``cat``/``apply``/``tD`` definitions; ``None`` in the set
+        means unknown.
+        """
+        scope = scope if scope is not None else self.root
+        for node in iter_operators(scope):
+            if isinstance(node, ops.Cat) and node.out_var == var:
+                out = set()
+                for item_var, single in (
+                    (node.x_var, node.x_single),
+                    (node.y_var, node.y_single),
+                ):
+                    if single:
+                        out |= self.var_labels(item_var, scope)
+                    else:
+                        out |= self.list_item_labels(item_var, scope)
+                return out
+            if isinstance(node, ops.Apply) and node.out_var == var:
+                if isinstance(node.plan, ops.TD):
+                    return self.var_labels(node.plan.var, node.plan)
+                return {None}
+        return {None}
+
+    def labels_can_match(self, labels, path):
+        """Can elements with one of ``labels`` match ``path``'s start?"""
+        if None in labels:
+            return True
+        return any(path.starts_with_label(l) for l in labels)
+
+    # -- liveness ------------------------------------------------------------------
+
+    def used_above(self, target):
+        """Variables consumed by operators strictly above ``target``.
+
+        "Above" is every operator on the path(s) from the root down to —
+        but excluding — ``target``, plus all side branches hanging off
+        that path (a join sibling may consume the variable too).
+        """
+        used = set()
+        found = self._collect_above(self.root, target, used)
+        if not found:
+            # target not in plan (already replaced); be conservative.
+            for node in iter_operators(self.root):
+                used |= node.used_vars()
+        return used
+
+    def _collect_above(self, node, target, used):
+        if node is target:
+            return True
+        subtrees = list(node.children)
+        if isinstance(node, ops.Apply):
+            subtrees.append(node.plan)
+        hit = False
+        for child in subtrees:
+            if self._collect_above(child, target, used):
+                hit = True
+        if hit:
+            used |= node.used_vars()
+            # Sibling branches of the spine can also consume variables
+            # exported from below the target (not for well-formed joins,
+            # whose inputs are disjoint, but stay conservative).
+            for child in subtrees:
+                if not _contains(child, target):
+                    for other in iter_operators(child):
+                        used |= other.used_vars()
+        return hit
+
+
+def _contains(plan, target):
+    for node in iter_operators(plan):
+        if node is target:
+            return True
+    return False
+
+
+def _last_label(path):
+    steps = path.without_data().steps
+    if steps and steps[-1].kind == Step.LABEL:
+        return steps[-1].label
+    return None

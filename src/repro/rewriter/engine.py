@@ -1,0 +1,99 @@
+"""The rewrite driver: applies the rule set to a fixpoint, with a trace.
+
+"The changes made by a single rewriting step to the structure of a plan
+are local ... the only change made in the rest of the plan by a rewriting
+rule application is the possible renaming of variables."  The driver
+walks the plan, applies the first matching (rule, node) pair, performs
+the local replacement plus the global renaming, records the step, and
+repeats until no rule matches.
+
+The recorded :class:`RewriteStep` sequence is what regenerates the
+paper's Figures 13-21 (each step shows the rule fired and the plan after
+it).
+"""
+
+from __future__ import annotations
+
+from repro.errors import RewriteError
+from repro.algebra import operators as ops
+from repro.algebra.plan import iter_operators, rename_vars, replace_operator
+from repro.algebra.printer import render_plan
+from repro.rewriter.context import RewriteContext
+from repro.rewriter.rules import DEFAULT_RULES, SET_SEMANTICS_RULES
+
+
+class RewriteStep:
+    """One recorded rule application."""
+
+    __slots__ = ("rule_name", "plan")
+
+    def __init__(self, rule_name, plan):
+        self.rule_name = rule_name
+        self.plan = plan
+
+    def render(self):
+        return "-- after {} --\n{}".format(
+            self.rule_name, render_plan(self.plan)
+        )
+
+
+class Rewriter:
+    """Applies Table-2 rewriting to composed plans.
+
+    Args:
+        rules: the rule objects to use (default: the full Table-2 set).
+        set_semantics: include rules sound only under the paper's
+            set-based algebra (currently join→semijoin).  With ``False``
+            every rewrite preserves exact multiset results, which the
+            property tests rely on.
+        max_steps: safety bound on rule applications.
+    """
+
+    def __init__(self, rules=None, set_semantics=True, max_steps=2000):
+        if rules is None:
+            rules = DEFAULT_RULES
+        if not set_semantics:
+            rules = tuple(
+                r for r in rules if not isinstance(r, SET_SEMANTICS_RULES)
+            )
+        self.rules = tuple(rules)
+        self.max_steps = max_steps
+
+    def rewrite(self, plan, trace=None):
+        """Rewrite ``plan`` to a fixpoint; returns the optimized plan.
+
+        Pass a list as ``trace`` to collect :class:`RewriteStep`\\ s.
+        """
+        steps = 0
+        while True:
+            fired = self._apply_one(plan)
+            if fired is None:
+                return plan
+            plan, rule_name = fired
+            if trace is not None:
+                trace.append(RewriteStep(rule_name, plan))
+            steps += 1
+            if steps > self.max_steps:
+                raise RewriteError(
+                    "rewriting did not converge within {} steps".format(
+                        self.max_steps
+                    )
+                )
+
+    def _apply_one(self, plan):
+        ctx = RewriteContext(plan)
+        for node in iter_operators(plan):
+            for rule in self.rules:
+                result = rule.apply(node, ctx)
+                if result is None:
+                    continue
+                new_plan = replace_operator(plan, node, result.replacement)
+                if result.rename:
+                    new_plan = rename_vars(new_plan, result.rename)
+                return new_plan, rule.name
+        return None
+
+
+def rewrite_plan(plan, set_semantics=True, trace=None):
+    """Convenience wrapper around :class:`Rewriter`."""
+    return Rewriter(set_semantics=set_semantics).rewrite(plan, trace=trace)

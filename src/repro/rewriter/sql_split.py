@@ -1,0 +1,444 @@
+"""Plan splitting and SQL generation (the Fig. 22 step).
+
+"The simplified algebraic plan can then be input to a module which splits
+the plan into two components: one part consisting of restructuring and
+grouping operators which is executed at the mediator.  The second part
+... consists of the initial getD, select, and join operators and is
+translated into a query in the appropriate query language for sending to
+the sources, and is represented at the mediator by a source access
+operator of the appropriate type."
+
+This module finds, top-down, the maximal subtrees built from
+``mksrc``/``getD``/``select``/``join``/``semijoin``/``orderBy`` over
+relational wrapper documents of a single server, compiles each into one
+SQL statement (aliases ``c1, o1, c2, ...`` in the paper's style; a
+semijoin becomes a self-join with SELECT DISTINCT), and replaces it by a
+``rQ`` operator whose map exports exactly the variables live above the
+split point.  When a ``gBy`` consumes the subtree's output, the SQL gains
+an ORDER BY on the group variables' key columns (then the other exported
+tuples' keys) so the engine can run the presorted stateless gBy of
+Table 1 — this is Fig. 22's ``ORDER BY c1.id, o1.orid``.
+
+DISTINCT deviation from the paper: Fig. 22's published SQL encodes the
+semijoin as a plain self-join, which duplicates rows when several ``o2``
+orders match; we emit SELECT DISTINCT to preserve the set semantics of
+the algebra (recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SourceError, UnknownSourceError
+from repro.xmltree.paths import Step
+from repro.algebra import operators as ops
+from repro.algebra.conditions import KEY, OID, VALUE
+from repro.rewriter.context import RewriteContext
+
+
+class _SqlModel:
+    """An under-construction SQL statement for one source subtree."""
+
+    def __init__(self, server):
+        self.server = server
+        self.tables = []       # (table_name, alias, element_label, schema)
+        self.env = {}          # var -> ("tuple", alias_idx) | ("col", alias_idx, col, kind)
+        self.where = []        # SQL text fragments
+        self.order = []        # SQL column refs
+        self.distinct = False
+        self.internal_only = set()  # vars not exportable (semijoin probe side)
+
+    def alias_of(self, index):
+        return self.tables[index][1]
+
+    def merge(self, other):
+        offset = len(self.tables)
+        self.tables.extend(other.tables)
+        for var, binding in other.env.items():
+            if binding[0] == "tuple":
+                self.env[var] = ("tuple", binding[1] + offset)
+            else:
+                self.env[var] = (
+                    "col", binding[1] + offset, binding[2], binding[3]
+                )
+        self.where.extend(other.where)
+        self.order.extend(other.order)
+        self.distinct = self.distinct or other.distinct
+        self.internal_only |= other.internal_only
+        return offset
+
+
+class _AliasCounter:
+    def __init__(self):
+        self._counts = {}
+
+    def next_alias(self, table_name):
+        count = self._counts.get(table_name, 0) + 1
+        self._counts[table_name] = count
+        return "{}{}".format(table_name[0], count)
+
+
+def push_to_sources(plan, catalog, group_hint=None):
+    """Replace maximal relational subtrees of ``plan`` by ``rQ`` leaves.
+
+    ``group_hint`` optionally forces an ORDER BY on the given variables
+    even without an enclosing ``gBy`` in ``plan``.
+    """
+    ctx = RewriteContext(plan)
+    return _transform(plan, plan, ctx, catalog,
+                      tuple(group_hint or ()), top=True)
+
+
+def _transform(root, node, ctx, catalog, pending_groups, top=False):
+    if isinstance(node, ops.GroupBy):
+        pending_groups = tuple(node.group_vars)
+    compiled = _try_compile(node, catalog, _AliasCounter())
+    if compiled is not None and _worth_pushing(node):
+        return _build_relquery(root, node, compiled, ctx, pending_groups)
+    new_children = tuple(
+        _transform(root, child, ctx, catalog, pending_groups)
+        for child in node.children
+    )
+    result = node
+    if any(n is not o for n, o in zip(new_children, node.children)):
+        result = node.with_children(new_children)
+    if isinstance(result, ops.Apply):
+        new_nested = _transform(
+            root, node.plan, ctx, catalog, pending_groups
+        )
+        if new_nested is not node.plan:
+            result = result.with_nested_plan(new_nested)
+    return result
+
+
+def _worth_pushing(node):
+    """A bare ``mksrc`` already streams; push only real query work."""
+    return not (isinstance(node, ops.MkSrc) and node.input is None)
+
+
+# -- compilation -----------------------------------------------------------------
+
+
+def _try_compile(node, catalog, aliases):
+    """A :class:`_SqlModel` for ``node``'s subtree, or ``None``."""
+    if isinstance(node, ops.MkSrc):
+        return _compile_mksrc(node, catalog, aliases)
+    if isinstance(node, ops.GetD):
+        return _compile_getd(node, catalog, aliases)
+    if isinstance(node, ops.Select):
+        return _compile_select(node, catalog, aliases)
+    if isinstance(node, ops.Join):
+        return _compile_join(node, catalog, aliases, semi=None)
+    if isinstance(node, ops.SemiJoin):
+        return _compile_join(node, catalog, aliases, semi=node.keep)
+    if isinstance(node, ops.OrderBy):
+        return _compile_orderby(node, catalog, aliases)
+    return None
+
+
+def _compile_mksrc(node, catalog, aliases):
+    if node.input is not None:
+        return None
+    try:
+        source = catalog.source_for(node.source)
+    except UnknownSourceError:
+        return None
+    if not source.supports_sql():
+        return None
+    doc_id = str(node.source).lstrip("&")
+    try:
+        table_name = source.table_for_document(doc_id)
+        label = source.label_for_document(doc_id)
+    except (SourceError, AttributeError):
+        return None
+    schema = source.describe_table(table_name)
+    model = _SqlModel(source.server_name)
+    alias = aliases.next_alias(table_name)
+    model.tables.append((table_name, alias, label, schema))
+    model.env[node.var] = ("tuple", 0)
+    return model
+
+
+def _compile_getd(node, catalog, aliases):
+    model = _try_compile(node.input, catalog, aliases)
+    if model is None:
+        return None
+    binding = model.env.get(node.in_var)
+    if binding is None:
+        return None
+    steps = list(node.path.steps)
+    ends_with_data = steps and steps[-1].kind == Step.DATA
+    if ends_with_data:
+        steps = steps[:-1]
+    if any(s.kind != Step.LABEL for s in steps):
+        return None
+    labels = [s.label for s in steps]
+
+    if binding[0] == "tuple":
+        alias_idx = binding[1]
+        __, __, element_label, schema = model.tables[alias_idx]
+        if not labels or labels[0] != element_label:
+            return None
+        if len(labels) == 1:
+            # The tuple object itself (possibly atomized - not useful).
+            if ends_with_data:
+                return None
+            model.env[node.out_var] = ("tuple", alias_idx)
+            return model
+        if len(labels) == 2 and schema.has_column(labels[1]):
+            kind = "leaf" if ends_with_data else "field"
+            model.env[node.out_var] = ("col", alias_idx, labels[1], kind)
+            return model
+        return None
+
+    # binding is a column (field element): only path field[.data()]
+    __, alias_idx, column, kind = binding
+    if kind != "field":
+        return None
+    if len(labels) == 1 and labels[0] == column and ends_with_data:
+        model.env[node.out_var] = ("col", alias_idx, column, "leaf")
+        return model
+    return None
+
+
+def _compile_select(node, catalog, aliases):
+    model = _try_compile(node.input, catalog, aliases)
+    if model is None:
+        return None
+    fragment = _condition_sql(node.condition, model, catalog)
+    if fragment is None:
+        return None
+    model.where.extend(fragment)
+    return model
+
+
+def _compile_join(node, catalog, aliases, semi):
+    left = _try_compile(node.left, catalog, aliases)
+    if left is None:
+        return None
+    right = _try_compile(node.right, catalog, aliases)
+    if right is None:
+        return None
+    if left.server != right.server:
+        return None
+    probe_vars = set()
+    if semi == "left":
+        probe_vars = set(right.env)
+    elif semi == "right":
+        probe_vars = set(left.env)
+    left.merge(right)
+    for condition in node.conditions:
+        fragment = _condition_sql(condition, left, catalog)
+        if fragment is None:
+            return None
+        left.where.extend(fragment)
+    if semi is not None:
+        left.distinct = True
+        left.internal_only |= probe_vars
+    return left
+
+
+def _compile_orderby(node, catalog, aliases):
+    model = _try_compile(node.input, catalog, aliases)
+    if model is None:
+        return None
+    for var in node.variables:
+        refs = _order_refs_for(var, model)
+        if refs is None:
+            return None
+        model.order.extend(refs)
+    return model
+
+
+def _order_refs_for(var, model):
+    binding = model.env.get(var)
+    if binding is None:
+        return None
+    if binding[0] == "col":
+        return ["{}.{}".format(model.alias_of(binding[1]), binding[2])]
+    __, alias, __, schema = model.tables[binding[1]]
+    if not schema.primary_key:
+        return None
+    return ["{}.{}".format(alias, col) for col in schema.primary_key]
+
+
+def _condition_sql(condition, model, catalog):
+    """SQL WHERE fragments for one algebra condition, or ``None``."""
+
+    def colref(var):
+        binding = model.env.get(var)
+        if binding is None or binding[0] != "col":
+            return None
+        return "{}.{}".format(model.alias_of(binding[1]), binding[2])
+
+    if condition.mode == VALUE:
+        if condition.is_var_const():
+            ref = colref(condition.left.var)
+            if ref is None:
+                return None
+            return ["{} {} {}".format(
+                ref, _sql_op(condition.op), _sql_literal(condition.right.value)
+            )]
+        if condition.is_var_var():
+            left = colref(condition.left.var)
+            right = colref(condition.right.var)
+            if left is None or right is None:
+                return None
+            return ["{} {} {}".format(left, _sql_op(condition.op), right)]
+        return None
+
+    if condition.mode == KEY:
+        if not condition.is_var_var() or condition.op != "=":
+            return None
+        left_b = model.env.get(condition.left.var)
+        right_b = model.env.get(condition.right.var)
+        if (
+            left_b is None or right_b is None
+            or left_b[0] != "tuple" or right_b[0] != "tuple"
+        ):
+            return None
+        __, l_alias, __, l_schema = model.tables[left_b[1]]
+        __, r_alias, __, r_schema = model.tables[right_b[1]]
+        if (
+            not l_schema.primary_key
+            or l_schema.primary_key != r_schema.primary_key
+        ):
+            return None
+        return [
+            "{}.{} = {}.{}".format(l_alias, col, r_alias, col)
+            for col in l_schema.primary_key
+        ]
+
+    if condition.mode == OID:
+        if not condition.is_var_const() or condition.op != "=":
+            return None
+        binding = model.env.get(condition.left.var)
+        if binding is None or binding[0] != "tuple":
+            return None
+        table_name, alias, __, schema = model.tables[binding[1]]
+        if not schema.primary_key:
+            return None
+        source = catalog.server(model.server)
+        try:
+            key_values = source.oid_to_key(
+                table_name, condition.right.value
+            )
+        except SourceError:
+            return None
+        return [
+            "{}.{} = {}".format(alias, col, _sql_literal(value))
+            for col, value in zip(schema.primary_key, key_values)
+        ]
+
+    return None
+
+
+def _sql_op(op):
+    return op
+
+
+def _sql_literal(value):
+    if isinstance(value, str):
+        return "'{}'".format(value.replace("'", "''"))
+    return str(value)
+
+
+# -- rQ construction --------------------------------------------------------------
+
+
+def _build_relquery(root, node, model, ctx, pending_groups):
+    live = ctx.used_above(node)
+    exported = [
+        var
+        for var in sorted(model.env)
+        if var in live and var not in model.internal_only
+    ]
+    if not exported:
+        # Export something so the operator has an output schema: prefer
+        # the first tuple variable.
+        tuple_vars = [
+            v for v, b in sorted(model.env.items())
+            if b[0] == "tuple" and v not in model.internal_only
+        ]
+        exported = tuple_vars[:1]
+        if not exported:
+            return node
+
+    select_items = []       # SQL select list text
+    varmap = []
+    for var in exported:
+        binding = model.env[var]
+        if binding[0] == "tuple":
+            table_name, alias, label, schema = model.tables[binding[1]]
+            columns = []
+            for col in schema.columns:
+                columns.append(
+                    (len(select_items), col.name)
+                )
+                select_items.append("{}.{}".format(alias, col.name))
+            key_positions = [
+                columns[schema.column_index(k)][0]
+                for k in schema.primary_key
+            ]
+            varmap.append(
+                ops.RQVar(var, label, columns, key_positions, kind="element")
+            )
+        else:
+            __, alias_idx, column, kind = binding
+            alias = model.alias_of(alias_idx)
+            position = len(select_items)
+            select_items.append("{}.{}".format(alias, column))
+            varmap.append(
+                ops.RQVar(
+                    var, column, [(position, column)], (), kind=kind
+                )
+            )
+
+    order_refs = list(model.order)
+    order_vars = []
+    group_vars_here = [v for v in pending_groups if v in model.env]
+    if group_vars_here:
+        for var in group_vars_here:
+            refs = _order_refs_for(var, model)
+            if refs is None:
+                order_refs = None
+                break
+            order_refs.extend(r for r in refs if r not in order_refs)
+        if order_refs is not None:
+            order_vars = list(group_vars_here)
+            # Order the remaining exported tuples too, for deterministic
+            # nesting (the paper's "ORDER BY c1.id, o1.orid").
+            for var in exported:
+                if var in group_vars_here:
+                    continue
+                if model.env[var][0] != "tuple":
+                    continue
+                refs = _order_refs_for(var, model)
+                if refs:
+                    order_refs.extend(
+                        r for r in refs if r not in order_refs
+                    )
+    if order_refs is None:
+        order_refs = list(model.order)
+
+    sql = _render_sql(model, select_items, order_refs)
+    return ops.RelQuery(model.server, sql, varmap, order_vars=order_vars)
+
+
+def _render_sql(model, select_items, order_refs):
+    parts = ["SELECT "]
+    if model.distinct:
+        parts.append("DISTINCT ")
+    parts.append(", ".join(select_items))
+    parts.append(" FROM ")
+    parts.append(
+        ", ".join(
+            "{} {}".format(table, alias)
+            for table, alias, __, __ in model.tables
+        )
+    )
+    if model.where:
+        parts.append(" WHERE ")
+        parts.append(" AND ".join(model.where))
+    if order_refs:
+        parts.append(" ORDER BY ")
+        parts.append(", ".join(order_refs))
+    return "".join(parts)

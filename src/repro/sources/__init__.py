@@ -1,0 +1,32 @@
+"""Source wrappers: the mediator's view of heterogeneous sources.
+
+The paper's architecture (Fig. 1) has every source wrapped to offer an
+XML view of itself.  Three wrappers are provided:
+
+* :class:`~repro.sources.relational.RelationalWrapper` — exports each
+  registered table as a document whose children are "tuple objects" with
+  key-derived oids (Fig. 2), supports lazy cursor-driven child iteration,
+  and executes pushed-down SQL for the ``rQ`` operator;
+* :class:`~repro.sources.xmlfile.XmlFileSource` — an XML file/text
+  source; per the paper's footnote, sources with no navigation support
+  are fetched in one step;
+* :class:`~repro.sources.mediator_source.MediatorSource` — another MIX
+  mediator acting as a source, whose QDOM navigation is passed through.
+
+The :class:`~repro.sources.catalog.SourceCatalog` maps document ids
+(``root1``) and server names to wrappers and is what the engines consult.
+"""
+
+from repro.sources.base import Source
+from repro.sources.catalog import SourceCatalog
+from repro.sources.mediator_source import MediatorSource
+from repro.sources.relational import RelationalWrapper
+from repro.sources.xmlfile import XmlFileSource
+
+__all__ = [
+    "MediatorSource",
+    "RelationalWrapper",
+    "Source",
+    "SourceCatalog",
+    "XmlFileSource",
+]

@@ -1,0 +1,51 @@
+"""The wrapper interface the mediator engines program against."""
+
+from __future__ import annotations
+
+from repro.errors import SourceError
+
+
+class Source:
+    """Abstract base of all source wrappers.
+
+    A source exports one or more *documents* (named XML roots).  The
+    engine interacts with a document in two ways:
+
+    * :meth:`iter_document_children` — a lazy iterator over the root's
+      children, pulled one at a time as navigation demands (the
+      navigation-driven path);
+    * :meth:`materialize_document` — the whole document at once (the
+      eager baseline, and the only option for sources that support no
+      navigation, per the paper's footnote 2).
+
+    Relational wrappers additionally accept pushed-down SQL via
+    :meth:`execute_sql`.
+    """
+
+    def document_ids(self):
+        """Ids of the documents this source exports."""
+        raise NotImplementedError
+
+    def iter_document_children(self, doc_id):
+        """Lazy iterator of the document root's children (Nodes)."""
+        raise NotImplementedError
+
+    def materialize_document(self, doc_id):
+        """The full document tree (root Node)."""
+        raise NotImplementedError
+
+    def supports_sql(self):
+        """Whether :meth:`execute_sql` is available (relational sources)."""
+        return False
+
+    def execute_sql(self, sql):
+        """Run pushed-down SQL; returns a cursor.  Relational only."""
+        raise SourceError(
+            "{} does not accept SQL".format(type(self).__name__)
+        )
+
+    def describe_table(self, table_name):
+        """Schema of an exported table (relational only)."""
+        raise SourceError(
+            "{} has no relational schema".format(type(self).__name__)
+        )

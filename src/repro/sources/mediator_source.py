@@ -1,0 +1,105 @@
+"""A MIX mediator acting as a source to another MIX mediator.
+
+The paper, Section 4: "In the ideal case where the underlying source is
+an XML source that supports navigation (e.g., a MIX mediator can be such
+a source to another MIX mediator) client navigations are translated into
+r and d commands sent to the source."
+
+:class:`MediatorSource` exports views of a *lower* mediator as documents
+of an *upper* one.  Child iteration is implemented with QDOM ``d``/``r``
+commands against the lower mediator's virtual result, so the upper
+mediator's laziness propagates through: navigating the upper view pulls
+only as much of the lower view — and therefore only as much of the
+ultimate relational sources — as needed.
+"""
+
+from __future__ import annotations
+
+from repro import stats as statnames
+from repro.errors import SourceError
+from repro.xmltree.tree import Node
+from repro.sources.base import Source
+
+
+class MediatorSource(Source):
+    """Expose another mediator's query results as navigable documents.
+
+    Example::
+
+        lower = Mediator().add_source(wrapper)
+        federated = MediatorSource(lower, stats=stats)
+        federated.register_view("custview", Q1_TEXT)
+        upper = Mediator().add_source(federated)
+        upper.query("FOR $R IN document(custview)/CustRec RETURN $R")
+    """
+
+    def __init__(self, mediator, stats=None):
+        self.mediator = mediator
+        self._stats = stats
+        self._views = {}       # doc_id -> query text
+        self._roots = {}       # doc_id -> cached QdomNode root
+
+    # -- configuration -----------------------------------------------------------
+
+    def register_view(self, doc_id, query_text):
+        """Export the result of ``query_text`` as document ``doc_id``.
+
+        The lower mediator runs the query lazily on first access.
+        """
+        self._views[doc_id] = query_text
+        return self
+
+    # -- Source interface -----------------------------------------------------------
+
+    def document_ids(self):
+        return sorted(self._views)
+
+    def _root(self, doc_id):
+        if doc_id not in self._views:
+            raise SourceError(
+                "mediator source exports no view {!r}".format(doc_id)
+            )
+        if doc_id not in self._roots:
+            self._roots[doc_id] = self.mediator.query(self._views[doc_id])
+        return self._roots[doc_id]
+
+    def iter_document_children(self, doc_id):
+        """Navigate the lower view with d/r commands, one child at a time."""
+        node = self._root(doc_id).d()
+        while node is not None:
+            if self._stats is not None:
+                self._stats.incr(statnames.SOURCE_NAVIGATIONS)
+            yield _qdom_to_node(node)
+            node = node.r()
+
+    def materialize_document(self, doc_id):
+        root = Node("&{}".format(doc_id), "list")
+        for child in self.iter_document_children(doc_id):
+            root.append(child)
+        return root
+
+    def invalidate(self, doc_id=None):
+        """Drop cached roots so the next access re-runs the lower query."""
+        if doc_id is None:
+            self._roots.clear()
+        else:
+            self._roots.pop(doc_id, None)
+
+
+def _qdom_to_node(qdom_node):
+    """A lazily materializing Node mirror of a QDOM subtree.
+
+    Children are produced by lower-mediator navigation commands only as
+    the upper engine's navigation reaches them.  Leaves carry their
+    value as the label, per the shared data model.
+    """
+
+    def tail(start=qdom_node):
+        child = start.d()
+        while child is not None:
+            yield _qdom_to_node(child)
+            child = child.r()
+
+    if qdom_node.d() is None:  # a leaf: label is the value
+        return Node(str(qdom_node.oid), qdom_node.fl())
+    return Node(str(qdom_node.oid), qdom_node.fl(), lazy_tail=tail())

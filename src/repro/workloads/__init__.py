@@ -1,0 +1,22 @@
+"""Synthetic workload generators for experiments and examples.
+
+The paper evaluates MIX on customer/order-style relational sources and
+an auction-site scenario; these builders produce scaled instances of
+both with controllable shapes (orders per customer, value
+distributions, join selectivities), already wrapped for the mediator.
+
+All generators are deterministic given their ``seed``.
+"""
+
+from repro.workloads.customers import (
+    CustomersOrdersSpec,
+    build_customers_orders,
+)
+from repro.workloads.auction import AuctionSpec, build_auction
+
+__all__ = [
+    "AuctionSpec",
+    "CustomersOrdersSpec",
+    "build_auction",
+    "build_customers_orders",
+]

@@ -1,0 +1,83 @@
+"""The Section-1 auction-site workload: cameras and matching lenses.
+
+Mirrors the paper's motivating scenario so examples and tests can replay
+the camera/lens discovery session at any scale.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.relational import Database
+from repro.sources import RelationalWrapper
+from repro.stats import StatsRegistry
+from repro.workloads.customers import BuiltWorkload
+
+RATINGS = ("low", "medium", "high")
+REGIONS = ("SoCal", "NorCal", "EastCoast")
+
+
+class AuctionSpec:
+    """Parameters of an auction-catalog instance."""
+
+    def __init__(self, n_cameras=200, min_lenses=2, max_lenses=7,
+                 price_range=(80, 900), lens_price_range=(40, 600),
+                 seed=2002):
+        self.n_cameras = n_cameras
+        self.min_lenses = min_lenses
+        self.max_lenses = max_lenses
+        self.price_range = price_range
+        self.lens_price_range = lens_price_range
+        self.seed = seed
+
+    def __repr__(self):
+        return "AuctionSpec({} cameras, {}-{} lenses each)".format(
+            self.n_cameras, self.min_lenses, self.max_lenses
+        )
+
+
+def build_auction(spec=None, stats=None, **spec_kwargs):
+    """Generate an auction catalog; documents ``cameras`` and ``lenses``."""
+    if spec is None:
+        spec = AuctionSpec(**spec_kwargs)
+    stats = stats or StatsRegistry()
+    rng = random.Random(spec.seed)
+    db = Database("auction", stats=stats)
+    db.run(
+        "CREATE TABLE camera (cid TEXT, model TEXT, price INT,"
+        " afspeed REAL, rating TEXT, PRIMARY KEY (cid))"
+    )
+    db.run(
+        "CREATE TABLE lens (lid TEXT, camera_cid TEXT, price INT,"
+        " diameter INT, owner_region TEXT, PRIMARY KEY (lid))"
+    )
+    lens_id = 0
+    for i in range(spec.n_cameras):
+        db.run(
+            "INSERT INTO camera VALUES ('cam{i:05d}', 'Model-{i}',"
+            " {price}, {af}, '{rating}')".format(
+                i=i,
+                price=rng.randrange(*spec.price_range),
+                af=round(rng.uniform(0.1, 1.2), 2),
+                rating=rng.choice(RATINGS),
+            )
+        )
+        for __ in range(rng.randrange(spec.min_lenses,
+                                      spec.max_lenses + 1)):
+            db.run(
+                "INSERT INTO lens VALUES ('lens{l:06d}', 'cam{i:05d}',"
+                " {price}, {diameter}, '{region}')".format(
+                    l=lens_id,
+                    i=i,
+                    price=rng.randrange(*spec.lens_price_range),
+                    diameter=rng.randrange(6, 18),
+                    region=rng.choice(REGIONS),
+                )
+            )
+            lens_id += 1
+    wrapper = (
+        RelationalWrapper(db)
+        .register_document("cameras", "camera")
+        .register_document("lenses", "lens")
+    )
+    return BuiltWorkload(spec, db, wrapper, stats)

@@ -1,0 +1,266 @@
+"""A small XML text parser producing :class:`~repro.xmltree.tree.Node` trees.
+
+The parser supports the fragment of XML the paper's data model covers:
+elements, text content, comments, processing instructions (skipped), and
+numeric/entity escapes.  Attributes are accepted in the input and *lifted*
+to child elements (``<a x="1"/>`` becomes ``a[x[1]]``), because the
+paper's model — and therefore everything downstream — is attribute-free.
+
+This is a substrate implementation, written from scratch so the library
+has no dependency beyond the standard library.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XmlParseError
+from repro.xmltree.tree import Node, OidGenerator
+
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "quot": '"', "apos": "'"}
+
+
+class _Scanner:
+    """Character-level scanner with position tracking for error messages."""
+
+    def __init__(self, text):
+        self.text = text
+        self.pos = 0
+
+    def eof(self):
+        return self.pos >= len(self.text)
+
+    def peek(self, offset=0):
+        i = self.pos + offset
+        return self.text[i] if i < len(self.text) else ""
+
+    def startswith(self, token):
+        return self.text.startswith(token, self.pos)
+
+    def advance(self, count=1):
+        self.pos += count
+
+    def take_until(self, token):
+        end = self.text.find(token, self.pos)
+        if end < 0:
+            raise XmlParseError(
+                "unterminated construct, expected {!r}".format(token),
+                self.text,
+                self.pos,
+            )
+        chunk = self.text[self.pos : end]
+        self.pos = end + len(token)
+        return chunk
+
+    def skip_ws(self):
+        while not self.eof() and self.peek().isspace():
+            self.advance()
+
+    def error(self, message):
+        return XmlParseError(message, self.text, self.pos)
+
+
+def _decode_entities(text):
+    if "&" not in text:
+        return text
+    out = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = text.find(";", i)
+        if end < 0:
+            out.append(ch)
+            i += 1
+            continue
+        name = text[i + 1 : end]
+        if name.startswith("#x") or name.startswith("#X"):
+            out.append(chr(int(name[2:], 16)))
+        elif name.startswith("#"):
+            out.append(chr(int(name[1:])))
+        elif name in _ENTITIES:
+            out.append(_ENTITIES[name])
+        else:
+            raise XmlParseError("unknown entity &{};".format(name), text, i)
+        i = end + 1
+    return "".join(out)
+
+
+_NUMERIC_RE = None  # compiled lazily below
+
+
+def _coerce_scalar(text):
+    """Interpret text content as int/float when it looks numeric.
+
+    The relational examples compare element content numerically
+    (``value < 500``); parsing ``<value>2400</value>`` into the int 2400
+    keeps a parsed document interchangeable with a wrapper-produced one.
+
+    Coercion is gated by an explicit digit pattern rather than
+    ``float(...)`` alone: Python also accepts spellings like ``"INF"``
+    and ``"nan"``, which must stay text.
+    """
+    global _NUMERIC_RE
+    if _NUMERIC_RE is None:
+        import re
+
+        _NUMERIC_RE = re.compile(
+            r"[+-]?(\d+\.?\d*|\.\d+)([eE][+-]?\d+)?\Z"
+        )
+    stripped = text.strip()
+    if not _NUMERIC_RE.match(stripped):
+        return text
+    try:
+        return int(stripped)
+    except ValueError:
+        pass
+    try:
+        return float(stripped)
+    except ValueError:
+        return text
+
+
+class XmlParser:
+    """Recursive-descent parser for the supported XML fragment."""
+
+    def __init__(self, oids=None, coerce_numbers=True):
+        self._oids = oids or OidGenerator("x")
+        self._coerce = coerce_numbers
+
+    def parse(self, text):
+        """Parse ``text`` and return the root :class:`Node`."""
+        scanner = _Scanner(text)
+        self._skip_misc(scanner)
+        if scanner.eof() or scanner.peek() != "<":
+            raise scanner.error("expected a root element")
+        root = self._parse_element(scanner)
+        self._skip_misc(scanner)
+        if not scanner.eof():
+            raise scanner.error("trailing content after the root element")
+        return root
+
+    # -- helpers -------------------------------------------------------------
+
+    def _skip_misc(self, scanner):
+        """Skip whitespace, comments, PIs, and a doctype/xml declaration."""
+        while True:
+            scanner.skip_ws()
+            if scanner.startswith("<!--"):
+                scanner.advance(4)
+                scanner.take_until("-->")
+            elif scanner.startswith("<?"):
+                scanner.advance(2)
+                scanner.take_until("?>")
+            elif scanner.startswith("<!DOCTYPE") or scanner.startswith("<!doctype"):
+                scanner.advance(2)
+                scanner.take_until(">")
+            else:
+                return
+
+    def _parse_name(self, scanner):
+        start = scanner.pos
+        while not scanner.eof():
+            ch = scanner.peek()
+            if ch.isalnum() or ch in "_-.:":
+                scanner.advance()
+            else:
+                break
+        if scanner.pos == start:
+            raise scanner.error("expected a name")
+        return scanner.text[start : scanner.pos]
+
+    def _parse_attributes(self, scanner):
+        attrs = []
+        while True:
+            scanner.skip_ws()
+            ch = scanner.peek()
+            if ch in (">", "/", ""):
+                return attrs
+            name = self._parse_name(scanner)
+            scanner.skip_ws()
+            if scanner.peek() != "=":
+                raise scanner.error("expected '=' in attribute")
+            scanner.advance()
+            scanner.skip_ws()
+            quote = scanner.peek()
+            if quote not in ("'", '"'):
+                raise scanner.error("expected a quoted attribute value")
+            scanner.advance()
+            value = scanner.take_until(quote)
+            attrs.append((name, _decode_entities(value)))
+
+    def _parse_element(self, scanner):
+        assert scanner.peek() == "<"
+        scanner.advance()
+        name = self._parse_name(scanner)
+        attrs = self._parse_attributes(scanner)
+        node = Node(self._oids.fresh(), name)
+        for attr_name, attr_value in attrs:
+            value = _coerce_scalar(attr_value) if self._coerce else attr_value
+            node.append(
+                Node(
+                    self._oids.fresh(),
+                    attr_name,
+                    [Node(self._oids.fresh(), value)],
+                )
+            )
+        scanner.skip_ws()
+        if scanner.startswith("/>"):
+            scanner.advance(2)
+            return node
+        if scanner.peek() != ">":
+            raise scanner.error("expected '>' closing the start tag")
+        scanner.advance()
+        self._parse_content(scanner, node, name)
+        return node
+
+    def _parse_content(self, scanner, node, name):
+        text_parts = []
+
+        def flush_text():
+            text = _decode_entities("".join(text_parts)).strip()
+            text_parts.clear()
+            if text:
+                value = _coerce_scalar(text) if self._coerce else text
+                node.append(Node(self._oids.fresh(), value))
+
+        while True:
+            if scanner.eof():
+                raise scanner.error("unterminated element <{}>".format(name))
+            if scanner.startswith("<!--"):
+                scanner.advance(4)
+                scanner.take_until("-->")
+            elif scanner.startswith("<![CDATA["):
+                scanner.advance(9)
+                text_parts.append(scanner.take_until("]]>"))
+            elif scanner.startswith("</"):
+                flush_text()
+                scanner.advance(2)
+                closing = self._parse_name(scanner)
+                scanner.skip_ws()
+                if scanner.peek() != ">":
+                    raise scanner.error("expected '>' closing </{}>".format(closing))
+                scanner.advance()
+                if closing != name:
+                    raise scanner.error(
+                        "mismatched tags: <{}> closed by </{}>".format(name, closing)
+                    )
+                return
+            elif scanner.peek() == "<":
+                flush_text()
+                node.append(self._parse_element(scanner))
+            else:
+                text_parts.append(scanner.peek())
+                scanner.advance()
+
+
+def parse_xml(text, oids=None, coerce_numbers=True):
+    """Parse XML ``text`` into a :class:`Node` tree.
+
+    Args:
+        text: the XML document text.
+        oids: optional :class:`OidGenerator` assigning vertex ids.
+        coerce_numbers: interpret numeric text content as int/float.
+    """
+    return XmlParser(oids=oids, coerce_numbers=coerce_numbers).parse(text)

@@ -1,0 +1,251 @@
+"""The labeled ordered tree: the paper's Section 2 data model.
+
+``T = (vertexId: O, label: D) | (vertexId: O, label: D, value: [T])``
+
+* ``Node.oid`` — the vertex id, a string conventionally starting with
+  ``&`` (``&root1``, ``&XYZ123``, or surrogate ids ``&n17``).  Oids may be
+  random surrogates or may carry semantic meaning: the relational wrapper
+  assigns tuple keys as oids, which is what makes decontextualization
+  (Section 5) possible.
+* ``Node.label`` — an element name for inner nodes; for leaves the label
+  *is* the value (the paper: "the labels of leaf nodes will also be called
+  values").  Labels of leaves may be ``str``, ``int`` or ``float``.
+* ``Node.children`` — the ordered list of subtrees.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import MixError
+
+#: Types a leaf label (value) may have.  ``D`` in the paper is
+#: "string-like"; we additionally admit numbers so that relational values
+#: compare numerically, which the paper's examples rely on
+#: (``$O/order/value < 500``).
+VALUE_TYPES = (str, int, float)
+
+
+class Node:
+    """One vertex of a labeled ordered tree.
+
+    Nodes are mutable only through :meth:`append`; most code builds them
+    once via :func:`elem` / :func:`leaf` and treats them as frozen.
+
+    **Lazy children.**  A node may be constructed with ``lazy_tail``, an
+    iterator producing further children on demand.  This is how the lazy
+    engine exports virtual results: accessing ``children`` (or iterating)
+    forces everything, but :meth:`child` — the navigation primitive —
+    forces only the prefix up to the requested index, which is exactly
+    the paper's navigation-driven evaluation contract.
+    """
+
+    __slots__ = ("oid", "label", "_children", "_tail")
+
+    def __init__(self, oid, label, children=(), lazy_tail=None):
+        if not isinstance(label, VALUE_TYPES):
+            raise MixError(
+                "node label must be str/int/float, got {!r}".format(label)
+            )
+        self.oid = oid
+        self.label = label
+        self._children = list(children)
+        self._tail = lazy_tail
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def children(self):
+        """All children (forces any lazy tail)."""
+        self._force(None)
+        return self._children
+
+    def _force(self, count):
+        """Materialize children up to ``count`` (``None`` = all)."""
+        while self._tail is not None and (
+            count is None or len(self._children) < count
+        ):
+            try:
+                self._children.append(next(self._tail))
+            except StopIteration:
+                self._tail = None
+
+    @property
+    def is_leaf(self):
+        """True when the node has no children (its label is its value)."""
+        if self._children:
+            return False
+        self._force(1)
+        return not self._children
+
+    @property
+    def materialized_child_count(self):
+        """How many children have been produced so far (no forcing)."""
+        return len(self._children)
+
+    @property
+    def fully_materialized(self):
+        return self._tail is None
+
+    def append(self, child):
+        """Append ``child`` as the new last child and return it.
+
+        Only valid on fully materialized nodes (builder code).
+        """
+        if self._tail is not None:
+            raise MixError("cannot append to a node with a lazy tail")
+        self._children.append(child)
+        return child
+
+    def child(self, index):
+        """The ``index``-th child or ``None`` — forces only that prefix."""
+        if index < 0:
+            return None
+        self._force(index + 1)
+        if index < len(self._children):
+            return self._children[index]
+        return None
+
+    def first_child(self):
+        """The paper's ``d`` on a materialized node (``None`` on a leaf)."""
+        return self.child(0)
+
+    def children_labeled(self, label):
+        """All children whose label equals ``label``."""
+        return [c for c in self.children if c.label == label]
+
+    def find(self, label):
+        """First child labeled ``label`` or ``None``."""
+        for c in self.children:
+            if c.label == label:
+                return c
+        return None
+
+    # -- value access --------------------------------------------------------
+
+    @property
+    def value(self):
+        """The leaf value: the label when this node is a leaf, else ``None``.
+
+        This is the paper's ``fv`` fetch: defined only on leaves.
+        """
+        return self.label if self.is_leaf else None
+
+    def iter_subtree(self):
+        """Pre-order iterator over this node and all descendants."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    # -- comparison / display -------------------------------------------------
+
+    def __repr__(self):
+        if self._tail is not None:
+            return "Node({}:{}, {}+ children, lazy)".format(
+                self.oid, self.label, len(self._children)
+            )
+        if self.is_leaf:
+            return "Node({}={!r})".format(self.oid, self.label)
+        return "Node({}:{}, {} children)".format(
+            self.oid, self.label, len(self._children)
+        )
+
+    def pretty(self, indent=0):
+        """A multi-line indented rendering, used in doctests and debugging."""
+        pad = "  " * indent
+        if self.is_leaf:
+            return "{}{} {!r}".format(pad, self.oid, self.label)
+        lines = ["{}{} {}".format(pad, self.oid, self.label)]
+        for c in self.children:
+            lines.append(c.pretty(indent + 1))
+        return "\n".join(lines)
+
+
+def deep_equals(a, b, compare_oids=False):
+    """Structural equality of two trees.
+
+    Oids are ignored by default because surrogate ids differ between an
+    eager and a lazy evaluation of the same plan; skolem-carrying oids can
+    be compared by passing ``compare_oids=True``.
+    """
+    if a is None or b is None:
+        return a is b
+    if compare_oids and a.oid != b.oid:
+        return False
+    if a.label != b.label or len(a.children) != len(b.children):
+        return False
+    return all(
+        deep_equals(x, y, compare_oids) for x, y in zip(a.children, b.children)
+    )
+
+
+def tree_size(node):
+    """Number of vertices in the tree rooted at ``node``."""
+    return sum(1 for _ in node.iter_subtree())
+
+
+def atomize(node):
+    """The comparable value of a node, or ``None`` when not comparable.
+
+    The paper defines conditions only on variables "bound to a leaf node
+    whose value is x"; XQuery's ``data()`` additionally atomizes an
+    element with a single leaf child (``<id>XYZ</id>`` atomizes to
+    ``"XYZ"``).  We implement the ``data()`` semantics, which subsumes the
+    paper's leaf-only rule.
+    """
+    if node is None:
+        return None
+    if node.is_leaf:
+        return node.label
+    if len(node.children) == 1 and node.children[0].is_leaf:
+        return node.children[0].label
+    return None
+
+
+class OidGenerator:
+    """Deterministic surrogate-oid factory (``&n1``, ``&n2``, ...).
+
+    Each document/engine owns one generator so runs are reproducible; the
+    paper allows ids to "be random surrogates or carry semantic meaning".
+    """
+
+    def __init__(self, prefix="n"):
+        self._prefix = prefix
+        self._counter = itertools.count(1)
+
+    def fresh(self):
+        """The next unused surrogate oid."""
+        return "&{}{}".format(self._prefix, next(self._counter))
+
+
+_DEFAULT_OIDS = OidGenerator()
+
+
+def leaf(value, oid=None):
+    """Build a leaf node whose label is ``value``."""
+    return Node(oid or _DEFAULT_OIDS.fresh(), value)
+
+
+def elem(label, *children, oid=None):
+    """Build an element node.
+
+    String/number children are wrapped into leaves for convenience, so the
+    paper's Fig. 2 database can be written as::
+
+        elem("customer",
+             elem("id", "XYZ"),
+             elem("name", "XYZInc."),
+             elem("addr", "LosAngeles"),
+             oid="&XYZ123")
+    """
+    wrapped = []
+    for c in children:
+        if isinstance(c, Node):
+            wrapped.append(c)
+        elif isinstance(c, VALUE_TYPES):
+            wrapped.append(leaf(c))
+        else:
+            raise MixError("invalid child for elem(): {!r}".format(c))
+    return Node(oid or _DEFAULT_OIDS.fresh(), label, wrapped)

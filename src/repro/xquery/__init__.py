@@ -1,0 +1,44 @@
+"""The XQuery subset of the paper's Fig. 4.
+
+FOR/WHERE/RETURN with simple path expressions, nested queries in element
+content, and the ``{$V, ...}`` group-by lists of [8] (the group-by
+proposal the paper incorporates).
+
+Public API::
+
+    from repro.xquery import parse_xquery
+    query = parse_xquery('''
+        FOR $C IN document(root1)/customer
+            $O IN document(root2)/order
+        WHERE $C/id/data() = $O/cid/data()
+        RETURN <CustRec> $C
+                 <OrderInfo> $O </OrderInfo> {$O}
+               </CustRec> {$C}
+    ''')
+"""
+
+from repro.xquery.ast import (
+    Comparison,
+    DocRoot,
+    ElemExpr,
+    ForBinding,
+    Literal,
+    PathOperand,
+    QueryExpr,
+    VarRef,
+    VarRoot,
+)
+from repro.xquery.parser import parse_xquery
+
+__all__ = [
+    "Comparison",
+    "DocRoot",
+    "ElemExpr",
+    "ForBinding",
+    "Literal",
+    "PathOperand",
+    "QueryExpr",
+    "VarRef",
+    "VarRoot",
+    "parse_xquery",
+]

@@ -1,0 +1,190 @@
+"""AST of the XQuery subset (paper Fig. 4)."""
+
+from __future__ import annotations
+
+from repro.xmltree.paths import Path
+
+
+class DocRoot:
+    """``document(id)`` / ``source(id)`` — a path rooted at a document.
+
+    The special id ``root`` denotes the root the query was issued from
+    (Section 2's ``q(query, p)`` command assigns it the id of ``p``).
+    """
+
+    __slots__ = ("doc_id",)
+
+    def __init__(self, doc_id):
+        self.doc_id = str(doc_id).lstrip("&")
+
+    @property
+    def is_query_root(self):
+        return self.doc_id == "root"
+
+    def __repr__(self):
+        return "document({})".format(self.doc_id)
+
+    def __eq__(self, other):
+        return isinstance(other, DocRoot) and self.doc_id == other.doc_id
+
+
+class VarRoot:
+    """``$V/...`` — a path rooted at a bound variable."""
+
+    __slots__ = ("var",)
+
+    def __init__(self, var):
+        self.var = var
+
+    def __repr__(self):
+        return self.var
+
+    def __eq__(self, other):
+        return isinstance(other, VarRoot) and self.var == other.var
+
+
+class PathOperand:
+    """A rooted path expression: root plus a :class:`Path` of steps."""
+
+    __slots__ = ("root", "path")
+
+    def __init__(self, root, path):
+        self.root = root
+        self.path = path if isinstance(path, Path) else Path.parse(path)
+
+    @property
+    def is_bare_var(self):
+        return isinstance(self.root, VarRoot) and self.path.is_empty()
+
+    def __repr__(self):
+        if self.path.is_empty():
+            return repr(self.root)
+        return "{}/{}".format(self.root, self.path)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, PathOperand)
+            and self.root == other.root
+            and self.path == other.path
+        )
+
+
+class Literal:
+    """A constant operand in a WHERE condition."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __repr__(self):
+        if isinstance(self.value, str):
+            return '"{}"'.format(self.value)
+        return str(self.value)
+
+    def __eq__(self, other):
+        return isinstance(other, Literal) and self.value == other.value
+
+
+class ForBinding:
+    """``$V IN pathExpr``."""
+
+    __slots__ = ("var", "operand")
+
+    def __init__(self, var, operand):
+        self.var = var
+        self.operand = operand
+
+    def __repr__(self):
+        return "{} IN {!r}".format(self.var, self.operand)
+
+
+class Comparison:
+    """One WHERE conjunct: ``operand relop operand``."""
+
+    __slots__ = ("left", "op", "right")
+
+    def __init__(self, left, op, right):
+        self.left = left
+        self.op = "!=" if op == "<>" else op
+        self.right = right
+
+    def __repr__(self):
+        return "{!r} {} {!r}".format(self.left, self.op, self.right)
+
+
+class VarRef:
+    """A bare variable in element content (``Element := Variable``)."""
+
+    __slots__ = ("var",)
+
+    def __init__(self, var):
+        self.var = var
+
+    def free_vars(self):
+        return {self.var}
+
+    def __repr__(self):
+        return self.var
+
+
+class ElemExpr:
+    """``<Label> content... </Label> {group-by list}``."""
+
+    __slots__ = ("label", "contents", "group_by")
+
+    def __init__(self, label, contents, group_by=()):
+        self.label = label
+        self.contents = list(contents)
+        self.group_by = tuple(group_by)
+
+    def free_vars(self):
+        out = set()
+        for c in self.contents:
+            out |= c.free_vars()
+        return out
+
+    def __repr__(self):
+        inner = " ".join(repr(c) for c in self.contents)
+        suffix = (
+            " {{{}}}".format(", ".join(self.group_by)) if self.group_by else ""
+        )
+        return "<{}> {} </{}>{}".format(self.label, inner, self.label, suffix)
+
+
+class QueryExpr:
+    """A whole FOR/WHERE/RETURN query (possibly nested in content)."""
+
+    __slots__ = ("for_bindings", "conditions", "ret")
+
+    def __init__(self, for_bindings, conditions, ret):
+        self.for_bindings = list(for_bindings)
+        self.conditions = list(conditions)
+        self.ret = ret
+
+    def free_vars(self):
+        """Variables used but not bound by this query's FOR clause."""
+        bound = {b.var for b in self.for_bindings}
+        used = set()
+        for b in self.for_bindings:
+            if isinstance(b.operand.root, VarRoot):
+                used.add(b.operand.root.var)
+        for c in self.conditions:
+            for operand in (c.left, c.right):
+                if isinstance(operand, PathOperand) and isinstance(
+                    operand.root, VarRoot
+                ):
+                    used.add(operand.root.var)
+        used |= self.ret.free_vars()
+        return used - bound
+
+    def __repr__(self):
+        parts = [
+            "FOR " + ", ".join(repr(b) for b in self.for_bindings)
+        ]
+        if self.conditions:
+            parts.append(
+                "WHERE " + " AND ".join(repr(c) for c in self.conditions)
+            )
+        parts.append("RETURN {!r}".format(self.ret))
+        return " ".join(parts)

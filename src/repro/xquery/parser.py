@@ -1,0 +1,287 @@
+"""Scanner-based recursive-descent parser for the XQuery subset.
+
+Implements the Fig. 4 grammar with the small pragmatic extensions the
+paper's own examples use:
+
+* WHERE operands may be literals (``$O/order/value < 500`` in Q3) even
+  though the figure's grammar shows paths on both sides;
+* path steps may end in ``data()`` (Q1);
+* ``%`` starts a comment running to the end of the line (Fig. 3 is
+  annotated this way);
+* ``document(...)`` and ``source(...)`` are interchangeable (Q1 uses
+  both spellings), and the argument may carry a ``&`` prefix.
+
+Keywords are recognised case-insensitively.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XQueryParseError
+from repro.xmltree.paths import Path, Step, DATA_STEP, WILDCARD
+from repro.xquery import ast
+
+_RELOPS = ("<=", ">=", "!=", "<>", "=", "<", ">")
+_KEYWORDS = {"FOR", "IN", "WHERE", "AND", "RETURN"}
+
+
+class _Scanner:
+    def __init__(self, text):
+        self.text = _strip_comments(text)
+        self.pos = 0
+
+    # -- primitives -------------------------------------------------------------
+
+    def skip_ws(self):
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def eof(self):
+        self.skip_ws()
+        return self.pos >= len(self.text)
+
+    def peek_char(self):
+        self.skip_ws()
+        if self.pos < len(self.text):
+            return self.text[self.pos]
+        return ""
+
+    def error(self, message):
+        context = self.text[max(0, self.pos - 20) : self.pos + 20]
+        return XQueryParseError(
+            "{} (near {!r})".format(message, context), self.text, self.pos
+        )
+
+    # -- token helpers ------------------------------------------------------------
+
+    def at_keyword(self, word):
+        self.skip_ws()
+        end = self.pos + len(word)
+        if self.text[self.pos : end].upper() != word:
+            return False
+        if end < len(self.text) and (
+            self.text[end].isalnum() or self.text[end] == "_"
+        ):
+            return False
+        return True
+
+    def accept_keyword(self, word):
+        if self.at_keyword(word):
+            self.pos += len(word)
+            return True
+        return False
+
+    def expect_keyword(self, word):
+        if not self.accept_keyword(word):
+            raise self.error("expected {}".format(word))
+
+    def accept_text(self, token):
+        self.skip_ws()
+        if self.text.startswith(token, self.pos):
+            self.pos += len(token)
+            return True
+        return False
+
+    def expect_text(self, token):
+        if not self.accept_text(token):
+            raise self.error("expected {!r}".format(token))
+
+    def parse_name(self):
+        self.skip_ws()
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_-"
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected a name")
+        return self.text[start : self.pos]
+
+    def parse_variable(self):
+        self.skip_ws()
+        if self.peek_char() != "$":
+            raise self.error("expected a variable")
+        self.pos += 1
+        return "$" + self.parse_name()
+
+    def accept_variable(self):
+        if self.peek_char() == "$":
+            return self.parse_variable()
+        return None
+
+
+def _strip_comments(text):
+    lines = []
+    for line in text.splitlines():
+        cut = line.find("%")
+        lines.append(line if cut < 0 else line[:cut])
+    return "\n".join(lines)
+
+
+def parse_xquery(text):
+    """Parse query ``text`` into a :class:`repro.xquery.ast.QueryExpr`."""
+    scanner = _Scanner(text)
+    query = _parse_query(scanner)
+    if not scanner.eof():
+        raise scanner.error("trailing input after RETURN clause")
+    return query
+
+
+def _parse_query(scanner):
+    scanner.expect_keyword("FOR")
+    bindings = [_parse_for_binding(scanner)]
+    while True:
+        scanner.accept_text(",")
+        if scanner.peek_char() == "$":
+            bindings.append(_parse_for_binding(scanner))
+        else:
+            break
+    conditions = []
+    if scanner.accept_keyword("WHERE"):
+        conditions.append(_parse_condition(scanner))
+        while scanner.accept_keyword("AND"):
+            conditions.append(_parse_condition(scanner))
+    scanner.expect_keyword("RETURN")
+    ret = _parse_element(scanner)
+    return ast.QueryExpr(bindings, conditions, ret)
+
+
+def _parse_for_binding(scanner):
+    var = scanner.parse_variable()
+    scanner.expect_keyword("IN")
+    operand = _parse_path_operand(scanner)
+    if not isinstance(operand, ast.PathOperand):
+        raise scanner.error("FOR needs a path expression")
+    return ast.ForBinding(var, operand)
+
+
+def _parse_path_operand(scanner):
+    """A rooted path: document(...)/..., source(...)/..., or $V/..."""
+    scanner.skip_ws()
+    if scanner.at_keyword("DOCUMENT") or scanner.at_keyword("SOURCE"):
+        name = scanner.parse_name()  # 'document' or 'source'
+        del name
+        scanner.expect_text("(")
+        scanner.skip_ws()
+        scanner.accept_text("&")
+        doc_id = scanner.parse_name()
+        scanner.expect_text(")")
+        root = ast.DocRoot(doc_id)
+    else:
+        var = scanner.accept_variable()
+        if var is None:
+            return None
+        root = ast.VarRoot(var)
+    steps = []
+    while scanner.accept_text("/"):
+        scanner.skip_ws()
+        if scanner.text.startswith("data()", scanner.pos):
+            scanner.pos += len("data()")
+            steps.append(DATA_STEP)
+            break
+        if scanner.accept_text("*"):
+            steps.append(WILDCARD)
+            continue
+        steps.append(Step(Step.LABEL, scanner.parse_name()))
+    if isinstance(root, ast.DocRoot) and not steps:
+        raise scanner.error("document(...) must be followed by a path")
+    return ast.PathOperand(root, Path(steps))
+
+
+def _parse_condition(scanner):
+    left = _parse_condition_operand(scanner)
+    scanner.skip_ws()
+    op = None
+    for candidate in _RELOPS:
+        if scanner.text.startswith(candidate, scanner.pos):
+            op = candidate
+            scanner.pos += len(candidate)
+            break
+    if op is None:
+        raise scanner.error("expected a comparison operator")
+    right = _parse_condition_operand(scanner)
+    return ast.Comparison(left, op, right)
+
+
+def _parse_condition_operand(scanner):
+    ch = scanner.peek_char()
+    if ch == '"' or ch == "'":
+        quote = ch
+        scanner.pos += 1
+        end = scanner.text.find(quote, scanner.pos)
+        if end < 0:
+            raise scanner.error("unterminated string literal")
+        value = scanner.text[scanner.pos : end]
+        scanner.pos = end + 1
+        return ast.Literal(value)
+    if ch.isdigit() or (ch in "+-"):
+        return ast.Literal(_parse_number(scanner))
+    operand = _parse_path_operand(scanner)
+    if operand is None:
+        raise scanner.error("expected a path or literal")
+    return operand
+
+
+def _parse_number(scanner):
+    scanner.skip_ws()
+    start = scanner.pos
+    if scanner.text[scanner.pos] in "+-":
+        scanner.pos += 1
+    saw_dot = False
+    while scanner.pos < len(scanner.text):
+        ch = scanner.text[scanner.pos]
+        if ch.isdigit():
+            scanner.pos += 1
+        elif ch == "." and not saw_dot:
+            saw_dot = True
+            scanner.pos += 1
+        else:
+            break
+    literal = scanner.text[start : scanner.pos]
+    if literal in ("+", "-", ""):
+        raise scanner.error("expected a number")
+    return float(literal) if saw_dot else int(literal)
+
+
+def _parse_element(scanner):
+    """``Element := <L> ElementList </L> OptGroupBy | Variable``."""
+    var = scanner.accept_variable()
+    if var is not None:
+        return ast.VarRef(var)
+    scanner.expect_text("<")
+    label = scanner.parse_name()
+    scanner.expect_text(">")
+    contents = []
+    while True:
+        scanner.skip_ws()
+        if scanner.text.startswith("</", scanner.pos):
+            break
+        if scanner.eof():
+            raise scanner.error("unterminated element <{}>".format(label))
+        contents.append(_parse_content(scanner))
+    scanner.expect_text("</")
+    closing = scanner.parse_name()
+    scanner.expect_text(">")
+    if closing != label:
+        raise scanner.error(
+            "mismatched tags <{}> ... </{}>".format(label, closing)
+        )
+    group_by = _parse_group_by(scanner)
+    return ast.ElemExpr(label, contents, group_by)
+
+
+def _parse_content(scanner):
+    """ElementList entry: a nested element, a nested query, or a variable."""
+    if scanner.at_keyword("FOR"):
+        return _parse_query(scanner)
+    element = _parse_element(scanner)
+    return element
+
+
+def _parse_group_by(scanner):
+    if not scanner.accept_text("{"):
+        return ()
+    variables = [scanner.parse_variable()]
+    while scanner.accept_text(","):
+        variables.append(scanner.parse_variable())
+    scanner.expect_text("}")
+    return tuple(variables)

@@ -1,0 +1,66 @@
+"""Rendering parsed queries back to XQuery text.
+
+``parse_xquery(render_query(q))`` reproduces the AST for every query in
+the Fig. 4 subset, which the property tests exercise; the renderer is
+also what the session log and error messages use to display queries.
+"""
+
+from __future__ import annotations
+
+from repro.xquery import ast
+
+
+def render_query(query, indent=0):
+    """The XQuery text of a parsed :class:`~repro.xquery.ast.QueryExpr`."""
+    pad = "  " * indent
+    parts = [pad + "FOR " + ", ".join(
+        "{} IN {}".format(b.var, _render_operand(b.operand))
+        for b in query.for_bindings
+    )]
+    if query.conditions:
+        parts.append(
+            pad + "WHERE " + " AND ".join(
+                "{} {} {}".format(
+                    _render_cond_operand(c.left),
+                    c.op,
+                    _render_cond_operand(c.right),
+                )
+                for c in query.conditions
+            )
+        )
+    parts.append(pad + "RETURN " + _render_element(query.ret, indent))
+    return "\n".join(parts)
+
+
+def _render_operand(operand):
+    if isinstance(operand.root, ast.DocRoot):
+        base = "document({})".format(operand.root.doc_id)
+    else:
+        base = operand.root.var
+    if operand.path.is_empty():
+        return base
+    return base + "/" + repr(operand.path).replace(".", "/")
+
+
+def _render_cond_operand(operand):
+    if isinstance(operand, ast.Literal):
+        if isinstance(operand.value, str):
+            return '"{}"'.format(operand.value)
+        return str(operand.value)
+    return _render_operand(operand)
+
+
+def _render_element(element, indent):
+    if isinstance(element, ast.VarRef):
+        return element.var
+    if isinstance(element, ast.QueryExpr):
+        return "\n" + render_query(element, indent + 1)
+    inner = " ".join(
+        _render_element(c, indent) for c in element.contents
+    )
+    text = "<{label}> {inner} </{label}>".format(
+        label=element.label, inner=inner
+    )
+    if element.group_by:
+        text += " {{{}}}".format(", ".join(element.group_by))
+    return text

@@ -1,0 +1,120 @@
+"""Unit tests for the condition language of select/join."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.xmltree import elem, leaf
+from repro.algebra import BindingTuple, Condition, Skolem, VList
+from repro.algebra.conditions import skolem_arg_of
+
+
+def tuple_with(**bindings):
+    return BindingTuple({"$" + k: v for k, v in bindings.items()})
+
+
+class TestValueConditions:
+    def test_var_const_on_leaf(self):
+        c = Condition.var_const("$A", "<", 500)
+        assert c.evaluate(tuple_with(A=leaf(100)))
+        assert not c.evaluate(tuple_with(A=leaf(900)))
+
+    def test_var_const_atomizes_field_element(self):
+        c = Condition.var_const("$A", "=", "XYZ")
+        assert c.evaluate(tuple_with(A=elem("id", "XYZ")))
+
+    def test_complex_element_never_satisfies(self):
+        c = Condition.var_const("$A", "=", "XYZ")
+        node = elem("customer", elem("id", "XYZ"), elem("name", "N"))
+        assert not c.evaluate(tuple_with(A=node))
+
+    def test_list_value_never_satisfies(self):
+        c = Condition.var_const("$A", "=", 1)
+        assert not c.evaluate(tuple_with(A=VList([leaf(1)])))
+
+    def test_var_var(self):
+        c = Condition.var_var("$A", "=", "$B")
+        assert c.evaluate(tuple_with(A=elem("id", "X"), B=elem("cid", "X")))
+        assert not c.evaluate(tuple_with(A=elem("id", "X"), B=elem("cid", "Y")))
+
+    def test_join_style_extra_tuple(self):
+        c = Condition.var_var("$A", "<", "$B")
+        left = tuple_with(A=leaf(1))
+        right = tuple_with(B=leaf(2))
+        assert c.evaluate(left, extra=right)
+
+    def test_unbound_variable_raises(self):
+        c = Condition.var_const("$Z", "=", 1)
+        with pytest.raises(PlanError):
+            c.evaluate(tuple_with(A=leaf(1)))
+
+    def test_string_comparison(self):
+        c = Condition.var_const("$A", "<", "B")
+        assert c.evaluate(tuple_with(A=elem("name", "ABCInc.")))
+        assert not c.evaluate(tuple_with(A=elem("name", "XYZInc.")))
+
+
+class TestOidConditions:
+    def test_pinning(self):
+        c = Condition.oid_equals("$C", "&XYZ123")
+        assert c.evaluate(tuple_with(C=elem("customer", oid="&XYZ123")))
+        assert not c.evaluate(tuple_with(C=elem("customer", oid="&DEF")))
+
+    def test_skolem_oid(self):
+        sk = Skolem("$V", "f", ("&X",))
+        c = Condition.oid_equals("$V", str(sk))
+        assert c.evaluate(tuple_with(V=elem("CustRec", "x", oid=sk)))
+
+    def test_only_equality_allowed(self):
+        from repro.algebra.conditions import ConstOperand, VarOperand, OID
+
+        with pytest.raises(PlanError):
+            Condition(VarOperand("$C"), "<", ConstOperand("&X"), mode=OID)
+
+
+class TestKeyConditions:
+    def test_same_object(self):
+        c = Condition.key_equals("$A", "$B")
+        x1 = elem("c", elem("id", "X"), oid="&X")
+        x2 = elem("c", elem("id", "X"), oid="&X")
+        y = elem("c", elem("id", "Y"), oid="&Y")
+        assert c.evaluate(tuple_with(A=x1, B=x2))
+        assert not c.evaluate(tuple_with(A=x1, B=y))
+
+
+class TestManipulation:
+    def test_flipped(self):
+        c = Condition.var_const("$A", "<", 5).flipped()
+        assert c.op == ">"
+        assert repr(c.left) == "5"
+
+    def test_rename(self):
+        c = Condition.var_var("$A", "=", "$B").rename({"$A": "$Z"})
+        assert c.variables() == {"$Z", "$B"}
+
+    def test_equality_and_hash(self):
+        a = Condition.var_const("$A", "<", 5)
+        b = Condition.var_const("$A", "<", 5)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unknown_op_rejected(self):
+        from repro.algebra.conditions import ConstOperand, VarOperand
+
+        with pytest.raises(PlanError):
+            Condition(VarOperand("$A"), "~", ConstOperand(1))
+
+
+class TestSkolemArgOf:
+    def test_wrapper_element_uses_oid(self):
+        assert skolem_arg_of(elem("c", elem("id", "X"), oid="&X")) == "&X"
+
+    def test_leaf_uses_value(self):
+        assert skolem_arg_of(leaf(42)) == 42
+
+    def test_constructed_uses_skolem(self):
+        sk = Skolem("$V", "f", ("&X",))
+        assert skolem_arg_of(elem("R", "x", oid=sk)) == sk
+
+    def test_non_element_rejected(self):
+        with pytest.raises(PlanError):
+            skolem_arg_of(VList())

@@ -1,0 +1,142 @@
+"""Unit tests for the paper-style plan printer."""
+
+from repro.xmltree.paths import Path
+from repro.algebra import (
+    Apply,
+    Cat,
+    Condition,
+    CrElt,
+    Empty,
+    GetD,
+    GroupBy,
+    Join,
+    MkSrc,
+    NestedSrc,
+    OrderBy,
+    Project,
+    RQVar,
+    RelQuery,
+    Select,
+    SemiJoin,
+    TD,
+    render_plan,
+)
+from repro.algebra.printer import render_operator
+
+
+class TestOperatorSpellings:
+    def test_mksrc(self):
+        assert render_operator(MkSrc("root1", "$K")) == "mksrc(root1, $K)"
+
+    def test_getd(self):
+        op = GetD("$C", Path.parse("customer.id"), "$1", MkSrc("d", "$C"))
+        assert render_operator(op) == "getD($C.customer.id, $1)"
+
+    def test_select(self):
+        op = Select(Condition.var_const("$3", ">", 20000), MkSrc("d", "$3"))
+        assert "> 20000" in render_operator(op)
+
+    def test_select_oid(self):
+        op = Select(Condition.oid_equals("$C", "&XYZ123"), MkSrc("d", "$C"))
+        assert "&XYZ123" in render_operator(op)
+
+    def test_project(self):
+        op = Project(("$A", "$B"), MkSrc("d", "$A"))
+        assert render_operator(op) == "project($A, $B)"
+
+    def test_join(self):
+        op = Join(
+            (Condition.var_var("$1", "=", "$2"),),
+            MkSrc("a", "$1"),
+            MkSrc("b", "$2"),
+        )
+        assert render_operator(op) == "join($1 = $2)"
+
+    def test_cartesian_join(self):
+        op = Join((), MkSrc("a", "$1"), MkSrc("b", "$2"))
+        assert render_operator(op) == "join(true)"
+
+    def test_semijoin_paper_names(self):
+        left = MkSrc("a", "$1")
+        right = MkSrc("b", "$2")
+        cond = (Condition.key_equals("$1", "$2"),)
+        assert render_operator(
+            SemiJoin(cond, left, right, keep="right")
+        ).startswith("Lsemijoin")
+        assert render_operator(
+            SemiJoin(cond, left, right, keep="left")
+        ).startswith("Rsemijoin")
+
+    def test_crelt_with_list_qualifier(self):
+        op = CrElt("OrderInfo", "g", ("$O",), "$O", True, "$P",
+                   MkSrc("d", "$O"))
+        assert render_operator(op) == "crElt(OrderInfo, g($O), list($O), $P)"
+
+    def test_cat_qualifiers(self):
+        op = Cat("$C", True, "$Z", False, "$W", MkSrc("d", "$C"))
+        assert render_operator(op) == "cat(list($C), $Z, $W)"
+
+    def test_td_with_and_without_root(self):
+        assert render_operator(TD("$V", MkSrc("d", "$V"), "rootv")) == \
+            "tD($V, rootv)"
+        assert render_operator(TD("$V", MkSrc("d", "$V"))) == "tD($V)"
+
+    def test_gby(self):
+        op = GroupBy(("$C",), "$X", MkSrc("d", "$C"))
+        assert render_operator(op) == "gBy($C, $X)"
+
+    def test_apply_null_input(self):
+        op = Apply(TD("$P", NestedSrc("$X")), None, "$Z", MkSrc("d", "$A"))
+        assert render_operator(op) == "apply(p, null, $Z)"
+
+    def test_nested_src(self):
+        assert render_operator(NestedSrc("$X")) == "nSrc($X)"
+
+    def test_relquery_one_based_positions(self):
+        op = RelQuery(
+            "s", "SELECT 1",
+            [RQVar("$C", "customer", [(0, "id"), (1, "name")], (0,))],
+        )
+        assert "$C={1,2}" in render_operator(op)
+
+    def test_orderby(self):
+        op = OrderBy(("$A", "$B"), MkSrc("d", "$A"))
+        assert render_operator(op) == "orderBy([$A, $B])"
+
+    def test_empty(self):
+        assert render_operator(Empty(("$A",))) == "∅"
+
+
+class TestPlanRendering:
+    def test_indentation_follows_structure(self):
+        plan = TD(
+            "$C",
+            Select(
+                Condition.var_const("$C", "=", 1),
+                GetD("$K", Path.of("c"), "$C", MkSrc("d", "$K")),
+            ),
+        )
+        lines = render_plan(plan).splitlines()
+        assert lines[0].startswith("tD")
+        assert lines[1].startswith("  select")
+        assert lines[2].startswith("    getD")
+        assert lines[3].startswith("      mksrc")
+
+    def test_nested_plan_inline(self):
+        nested = TD("$P", NestedSrc("$X"))
+        plan = Apply(nested, "$X", "$Z",
+                     GroupBy(("$C",), "$X", MkSrc("d", "$C")))
+        text = render_plan(plan)
+        assert "p:" in text
+        assert "nSrc($X)" in text
+
+    def test_sql_shown_under_rq(self):
+        plan = RelQuery(
+            "s", "SELECT id FROM customer",
+            [RQVar("$C", "customer", [(0, "id")], (0,))],
+        )
+        text = render_plan(plan)
+        assert "| SELECT id FROM customer" in text
+        assert "SELECT" not in render_plan(plan, show_sql=False).replace(
+            "rQ(s, <sql>", ""
+        )

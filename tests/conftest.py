@@ -1,0 +1,125 @@
+"""Shared fixtures: the paper's running-example database and mediator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, Mediator, RelationalWrapper, StatsRegistry
+from repro.sources import SourceCatalog
+
+
+#: Fig. 3 — the running example view (Q1).
+Q1 = """
+FOR $C IN source(root1)/customer
+    $O IN document(root2)/order
+WHERE $C/id/data() = $O/cid/data()
+RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}
+"""
+
+#: Fig. 12 — the composition example query.
+Q12 = """
+FOR $R IN document(rootv)/CustRec
+    $S IN $R/OrderInfo
+WHERE $S/order/value/data() > 20000
+RETURN $R
+"""
+
+#: Fig. 8 — the in-place query issued from a CustRec node.
+Q8 = """
+FOR $O IN document(root)/OrderInfo
+WHERE $O/order/value/data() > 2000
+RETURN $O
+"""
+
+
+def make_paper_db(stats=None):
+    """The Fig. 2 database (plus a third customer to exercise joins)."""
+    db = Database("paper", stats=stats)
+    db.run(
+        "CREATE TABLE customer (id TEXT, name TEXT, addr TEXT,"
+        " PRIMARY KEY (id))"
+    )
+    db.run(
+        "CREATE TABLE orders (orid INT, cid TEXT, value INT,"
+        " PRIMARY KEY (orid))"
+    )
+    db.run(
+        "INSERT INTO customer VALUES"
+        " ('XYZ', 'XYZInc.', 'LosAngeles'),"
+        " ('DEF', 'DEFCorp.', 'NewYork'),"
+        " ('ABC', 'ABCInc.', 'SanDiego')"
+    )
+    db.run(
+        "INSERT INTO orders VALUES"
+        " (28904, 'XYZ', 2400),"
+        " (87456, 'ABC', 200000),"
+        " (111, 'XYZ', 100),"
+        " (222, 'DEF', 30000)"
+    )
+    return db
+
+
+def make_paper_wrapper(stats=None):
+    db = make_paper_db(stats=stats)
+    return (
+        RelationalWrapper(db)
+        .register_document("root1", "customer")
+        .register_document("root2", "orders", element_label="order")
+    )
+
+
+def make_scaled_wrapper(n_customers, orders_per_customer, stats=None):
+    """A scaled customers/orders database for traffic measurements."""
+    db = Database("scaled", stats=stats)
+    db.run(
+        "CREATE TABLE customer (id TEXT, name TEXT, addr TEXT,"
+        " PRIMARY KEY (id))"
+    )
+    db.run(
+        "CREATE TABLE orders (orid INT, cid TEXT, value INT,"
+        " PRIMARY KEY (orid))"
+    )
+    order_id = 0
+    for i in range(n_customers):
+        db.run(
+            "INSERT INTO customer VALUES ('C{:05d}', 'Name{}', 'City{}')".format(
+                i, i, i % 7
+            )
+        )
+        for j in range(orders_per_customer):
+            db.run(
+                "INSERT INTO orders VALUES ({}, 'C{:05d}', {})".format(
+                    order_id, i, 100 * (j + 1)
+                )
+            )
+            order_id += 1
+    return (
+        RelationalWrapper(db)
+        .register_document("root1", "customer")
+        .register_document("root2", "orders", element_label="order")
+    )
+
+
+@pytest.fixture
+def paper_stats():
+    return StatsRegistry()
+
+
+@pytest.fixture
+def paper_db(paper_stats):
+    return make_paper_db(stats=paper_stats)
+
+
+@pytest.fixture
+def paper_wrapper(paper_stats):
+    return make_paper_wrapper(stats=paper_stats)
+
+
+@pytest.fixture
+def paper_catalog(paper_wrapper):
+    return SourceCatalog().register(paper_wrapper)
+
+
+@pytest.fixture
+def paper_mediator(paper_wrapper, paper_stats):
+    return Mediator(stats=paper_stats).add_source(paper_wrapper)

@@ -1,0 +1,264 @@
+"""Unit tests for the eager reference evaluator, operator by operator."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.xmltree import elem, leaf
+from repro.xmltree.paths import Path
+from repro.algebra import (
+    Apply,
+    BindingSet,
+    BindingTuple,
+    Cat,
+    Condition,
+    CrElt,
+    GetD,
+    GroupBy,
+    Join,
+    MkSrc,
+    NestedSrc,
+    OrderBy,
+    Project,
+    RQVar,
+    RelQuery,
+    Select,
+    SemiJoin,
+    Skolem,
+    TD,
+    VList,
+)
+from repro.engine.eager import EagerEngine
+from repro.sources import SourceCatalog, XmlFileSource
+from tests.conftest import make_paper_wrapper
+
+
+@pytest.fixture
+def catalog():
+    source = XmlFileSource()
+    source.add_tree(
+        "doc",
+        elem(
+            "list",
+            elem("item", elem("id", 1), elem("price", 10), oid="&i1"),
+            elem("item", elem("id", 2), elem("price", 20), oid="&i2"),
+            elem("item", elem("id", 3), elem("price", 30), oid="&i3"),
+            oid="&doc",
+        ),
+    )
+    cat = SourceCatalog().register_document("doc", source)
+    return cat
+
+
+@pytest.fixture
+def engine(catalog):
+    return EagerEngine(catalog)
+
+
+def items_plan():
+    return GetD("$S", Path.of("item"), "$I", MkSrc("doc", "$S"))
+
+
+class TestSourceOps:
+    def test_mksrc_binds_children(self, engine):
+        out = engine.evaluate(MkSrc("doc", "$X"))
+        assert len(out) == 3
+        assert out[0].get("$X").label == "item"
+
+    def test_getd(self, engine):
+        out = engine.evaluate(
+            GetD("$I", Path.parse("item.price.data()"), "$P", items_plan())
+        )
+        assert [t.get("$P").label for t in out] == [10, 20, 30]
+
+    def test_getd_no_match_drops_tuple(self, engine):
+        out = engine.evaluate(
+            GetD("$I", Path.of("nothing"), "$P", items_plan())
+        )
+        assert len(out) == 0
+
+
+class TestTupleOps:
+    def test_select(self, engine):
+        plan = Select(
+            Condition.var_const("$P", ">", 15),
+            GetD("$I", Path.parse("item.price"), "$P", items_plan()),
+        )
+        assert len(engine.evaluate(plan)) == 2
+
+    def test_project_dedups(self, engine):
+        source = GetD("$I", Path.parse("item"), "$J", items_plan())
+        out = engine.evaluate(Project(("$I",), source))
+        assert len(out) == 3
+        assert out.variables() == {"$I"}
+
+    def test_join(self, engine):
+        left = GetD("$I", Path.parse("item.id"), "$A", items_plan())
+        right_items = GetD("$S2", Path.of("item"), "$I2", MkSrc("doc", "$S2"))
+        right = GetD("$I2", Path.parse("item.id"), "$B", right_items)
+        plan = Join((Condition.var_var("$A", "=", "$B"),), left, right)
+        out = engine.evaluate(plan)
+        assert len(out) == 3  # each item matches itself only
+
+    def test_cartesian_join(self, engine):
+        left = MkSrc("doc", "$X")
+        right = MkSrc("doc", "$Y")
+        out = engine.evaluate(Join((), left, right))
+        assert len(out) == 9
+
+    def test_semijoin_keep_left(self, engine):
+        left = GetD("$I", Path.parse("item.id"), "$A", items_plan())
+        probe_items = GetD("$S2", Path.of("item"), "$I2", MkSrc("doc", "$S2"))
+        probe = Select(
+            Condition.var_const("$B", ">", 1),
+            GetD("$I2", Path.parse("item.id"), "$B", probe_items),
+        )
+        plan = SemiJoin(
+            (Condition.var_var("$A", "=", "$B"),), left, probe, keep="left"
+        )
+        out = engine.evaluate(plan)
+        assert len(out) == 2
+        assert out.variables() == {"$S", "$I", "$A"}
+
+    def test_semijoin_keep_right(self, engine):
+        left = Select(
+            Condition.var_const("$A", "=", 1),
+            GetD("$I", Path.parse("item.id"), "$A", items_plan()),
+        )
+        right_items = GetD("$S2", Path.of("item"), "$I2", MkSrc("doc", "$S2"))
+        right = GetD("$I2", Path.parse("item.id"), "$B", right_items)
+        plan = SemiJoin(
+            (Condition.var_var("$A", "=", "$B"),), left, right, keep="right"
+        )
+        out = engine.evaluate(plan)
+        assert len(out) == 1
+        assert "$B" in out.variables()
+
+    def test_orderby_by_ids(self, engine):
+        out = engine.evaluate(OrderBy(("$X",), MkSrc("doc", "$X")))
+        oids = [t.get("$X").oid for t in out]
+        assert oids == sorted(oids)
+
+
+class TestConstruction:
+    def test_crelt_single_child(self, engine):
+        plan = CrElt("Wrap", "f", ("$X",), "$X", True, "$V",
+                     MkSrc("doc", "$X"))
+        out = engine.evaluate(plan)
+        first = out[0].get("$V")
+        assert first.label == "Wrap"
+        assert isinstance(first.oid, Skolem)
+        assert first.oid.fn == "f"
+        assert first.oid.args == ("&i1",)
+        assert len(first.children) == 1
+
+    def test_cat_two_singles(self, engine):
+        plan = Cat("$X", True, "$Y", True, "$Z",
+                   Join((), MkSrc("doc", "$X"), MkSrc("doc", "$Y")))
+        out = engine.evaluate(plan)
+        value = out[0].get("$Z")
+        assert isinstance(value, VList)
+        assert len(value) == 2
+
+    def test_td_produces_list_tree(self, engine):
+        tree = engine.evaluate_tree(TD("$X", MkSrc("doc", "$X"), "res"))
+        assert tree.label == "list"
+        assert tree.oid == "&res"
+        assert len(tree.children) == 3
+
+    def test_td_flattens_lists(self, engine):
+        plan = TD(
+            "$Z",
+            Cat("$X", True, "$Y", True, "$Z",
+                Join((), MkSrc("doc", "$X"), MkSrc("doc", "$Y"))),
+        )
+        tree = engine.evaluate_tree(plan)
+        assert len(tree.children) == 18
+
+    def test_evaluate_tree_rejects_tuples(self, engine):
+        with pytest.raises(EvaluationError):
+            engine.evaluate_tree(MkSrc("doc", "$X"))
+
+
+class TestGroupByApply:
+    def test_groupby_partitions(self, engine):
+        plan = GroupBy(
+            ("$P",),
+            "$G",
+            GetD("$I", Path.parse("item.price"), "$P", items_plan()),
+        )
+        out = engine.evaluate(plan)
+        assert len(out) == 3
+        partition = out[0].get("$G")
+        assert isinstance(partition, BindingSet)
+        assert len(partition) == 1
+
+    def test_groupby_groups_equal_keys(self, engine):
+        # Group all items by a shared constant-ish label path.
+        plan = GroupBy(
+            ("$L",),
+            "$G",
+            GetD("$I", Path.parse("item.id"), "$L", items_plan()),
+        )
+        out = engine.evaluate(plan)
+        assert len(out) == 3  # distinct ids
+
+    def test_apply_with_td_plan_binds_list(self, engine):
+        nested = TD(
+            "$W",
+            CrElt("W", "g", ("$I",), "$I", True, "$W", NestedSrc("$G")),
+        )
+        plan = Apply(
+            nested,
+            "$G",
+            "$Z",
+            GroupBy(("$I",), "$G", items_plan()),
+        )
+        out = engine.evaluate(plan)
+        value = out[0].get("$Z")
+        assert isinstance(value, VList)
+        assert value[0].label == "W"
+
+    def test_nestedsrc_outside_apply_raises(self, engine):
+        with pytest.raises(EvaluationError):
+            engine.evaluate(NestedSrc("$G"))
+
+
+class TestRelQuery:
+    def test_rq_assembles_tuple_objects(self):
+        wrapper = make_paper_wrapper()
+        catalog = SourceCatalog().register(wrapper)
+        engine = EagerEngine(catalog)
+        rq = RelQuery(
+            "s",
+            "SELECT c.id, c.name, o.orid, o.value FROM customer c, orders o"
+            " WHERE c.id = o.cid ORDER BY c.id, o.orid",
+            [
+                RQVar("$C", "customer", [(0, "id"), (1, "name")], (0,)),
+                RQVar("$O", "order", [(2, "orid"), (3, "value")], (2,)),
+            ],
+        )
+        out = engine.evaluate(rq)
+        assert len(out) == 4
+        first = out[0]
+        assert first.get("$C").label == "customer"
+        assert first.get("$C").oid == "&ABC"
+        assert first.get("$O").label == "order"
+        assert first.get("$O").oid == "&87456"
+
+    def test_rq_field_and_leaf_kinds(self):
+        wrapper = make_paper_wrapper()
+        catalog = SourceCatalog().register(wrapper)
+        engine = EagerEngine(catalog)
+        rq = RelQuery(
+            "s",
+            "SELECT id FROM customer ORDER BY id",
+            [
+                RQVar("$F", "id", [(0, "id")], (), kind="field"),
+                RQVar("$L", "id", [(0, "id")], (), kind="leaf"),
+            ],
+        )
+        out = engine.evaluate(rq)
+        assert out[0].get("$F").label == "id"
+        assert out[0].get("$F").children[0].label == "ABC"
+        assert out[0].get("$L").is_leaf
+        assert out[0].get("$L").label == "ABC"

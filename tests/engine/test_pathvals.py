@@ -1,0 +1,66 @@
+"""Tests for path evaluation over binding values (lists as virtual nodes)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.xmltree import Path, elem
+from repro.algebra import BindingSet, VList
+from repro.engine.pathvals import eval_path_on_value
+
+
+@pytest.fixture
+def order_list():
+    return VList(
+        [
+            elem("OrderInfo", elem("order", elem("value", 100))),
+            elem("OrderInfo", elem("order", elem("value", 2400))),
+            elem("Other", "x"),
+        ]
+    )
+
+
+class TestNodeValues:
+    def test_plain_node_delegates_to_path(self):
+        node = elem("customer", elem("id", "X"))
+        matches = eval_path_on_value(node, Path.parse("customer.id"))
+        assert len(matches) == 1
+
+
+class TestListValues:
+    def test_list_step_iterates_items(self, order_list):
+        matches = eval_path_on_value(
+            order_list, Path.parse("list.OrderInfo")
+        )
+        assert len(matches) == 2
+
+    def test_deep_path_through_list(self, order_list):
+        matches = eval_path_on_value(
+            order_list, Path.parse("list.OrderInfo.order.value.data()")
+        )
+        assert sorted(m.label for m in matches) == [100, 2400]
+
+    def test_wildcard_first_step(self, order_list):
+        matches = eval_path_on_value(order_list, Path.parse("*.Other"))
+        assert len(matches) == 1
+
+    def test_non_list_first_step_matches_nothing(self, order_list):
+        assert eval_path_on_value(order_list, Path.parse("OrderInfo")) == []
+
+    def test_path_to_list_itself_matches_nothing(self, order_list):
+        assert eval_path_on_value(order_list, Path.parse("list")) == []
+
+    def test_nested_lists_flattened_stepwise(self):
+        inner = VList([elem("a", "1")])
+        outer = VList([inner, elem("a", "2")])
+        matches = eval_path_on_value(outer, Path.parse("list.a"))
+        # The inner VList is a 'list' virtual node, not an 'a' element.
+        assert [m.children[0].label for m in matches] == ["2"]
+
+    def test_empty_path_over_list_rejected(self, order_list):
+        with pytest.raises(EvaluationError):
+            eval_path_on_value(order_list, Path(()))
+
+
+class TestSetValues:
+    def test_sets_not_addressable(self):
+        assert eval_path_on_value(BindingSet(), Path.parse("list.x")) == []

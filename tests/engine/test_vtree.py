@@ -1,0 +1,115 @@
+"""Unit tests for the virtual-tree navigation layer and provenance."""
+
+import pytest
+
+from repro.errors import NavigationError
+from repro.xmltree import Node, elem, leaf
+from repro.algebra.values import Skolem
+from repro.engine.vtree import Provenance, VNode, vnode_to_tree, walk_fully
+
+
+def skolem_tree():
+    """list -> CustRec(f($C)=&X) -> [customer(&X), OrderInfo(g($O)=&7)]."""
+    customer = elem("customer", elem("id", "X"), oid="&X")
+    order = elem("order", elem("orid", 7), oid="&7")
+    orderinfo = Node(
+        Skolem("$P", "g", ("&7",), arg_vars=("$O",)), "OrderInfo", [order]
+    )
+    custrec = Node(
+        Skolem("$V", "f", ("&X",), arg_vars=("$C",)),
+        "CustRec",
+        [customer, orderinfo],
+    )
+    return Node("&root", "list", [custrec])
+
+
+class TestNavigation:
+    def test_down_right(self):
+        root = VNode.root(skolem_tree())
+        custrec = root.down()
+        assert custrec.label() == "CustRec"
+        customer = custrec.down()
+        assert customer.label() == "customer"
+        orderinfo = customer.right()
+        assert orderinfo.label() == "OrderInfo"
+        assert orderinfo.right() is None
+
+    def test_down_on_leaf(self):
+        root = VNode.root(skolem_tree())
+        id_leaf = root.down().down().down().down()
+        assert id_leaf.value() == "X"
+        assert id_leaf.down() is None
+
+    def test_right_at_root(self):
+        assert VNode.root(skolem_tree()).right() is None
+
+    def test_value_only_on_leaves(self):
+        root = VNode.root(skolem_tree())
+        assert root.value() is None
+        assert root.down().value() is None
+
+    def test_children_and_walk(self):
+        root = VNode.root(skolem_tree())
+        assert len(root.children()) == 1
+        # list, CustRec, customer, id, leaf, OrderInfo, order, orid, leaf
+        assert walk_fully(root) == 9
+
+    def test_vnode_to_tree_materializes(self):
+        root = VNode.root(skolem_tree())
+        tree = vnode_to_tree(root)
+        assert tree.label == "list"
+        assert tree.children[0].children[1].label == "OrderInfo"
+
+
+class TestProvenance:
+    def test_constructed_node(self):
+        custrec = VNode.root(skolem_tree()).down()
+        prov = custrec.provenance()
+        assert prov.var == "$V"
+        assert prov.fixed == {"$C": "&X"}
+
+    def test_nested_constructed_node_accumulates(self):
+        orderinfo = VNode.root(skolem_tree()).down().down().right()
+        prov = orderinfo.provenance()
+        assert prov.var == "$P"
+        assert prov.fixed == {"$C": "&X", "$O": "&7"}
+
+    def test_source_element_matching_fixed_key(self):
+        customer = VNode.root(skolem_tree()).down().down()
+        prov = customer.provenance()
+        assert prov.var == "$C"
+
+    def test_inner_field_has_no_var(self):
+        id_elem = VNode.root(skolem_tree()).down().down().down()
+        assert id_elem.provenance().var is None
+
+    def test_require_query_root_on_root(self):
+        prov = VNode.root(skolem_tree()).require_query_root()
+        assert prov.var is None and prov.fixed == {}
+
+    def test_require_query_root_rejects_plain_nodes(self):
+        id_elem = VNode.root(skolem_tree()).down().down().down()
+        with pytest.raises(NavigationError):
+            id_elem.require_query_root()
+
+    def test_provenance_repr(self):
+        text = repr(Provenance("$V", {"$C": "&X"}))
+        assert "$V" in text and "$C" in text
+
+
+class TestLazyNavigation:
+    def test_navigation_forces_prefix_only(self):
+        produced = []
+
+        def tail():
+            for i in range(100):
+                produced.append(i)
+                yield leaf(i)
+
+        root = VNode.root(Node("&r", "list", lazy_tail=tail()))
+        first = root.down()
+        assert first.value() == 0
+        assert produced == [0]
+        second = first.right()
+        assert second.value() == 1
+        assert produced == [0, 1]

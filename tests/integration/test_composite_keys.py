@@ -1,0 +1,74 @@
+"""Integration: composite primary keys through the whole stack.
+
+The paper requires key-addressable tuple objects for decontextualization
+("the id needs to encode the values of the fields ... that form a key");
+this exercises oid encoding/decoding, SQL generation of key predicates,
+and in-place queries when keys span several columns.
+"""
+
+import pytest
+
+from repro import Database, Mediator, RelationalWrapper
+from repro.algebra import Condition, GetD, MkSrc, RelQuery, Select, TD
+from repro.algebra.plan import find_operators
+from repro.rewriter import push_to_sources
+from repro.sources import SourceCatalog
+from repro.xmltree.paths import Path
+
+
+@pytest.fixture
+def wrapper():
+    db = Database("inv")
+    db.run(
+        "CREATE TABLE stock (warehouse TEXT, sku TEXT, qty INT,"
+        " PRIMARY KEY (warehouse, sku))"
+    )
+    db.run(
+        "INSERT INTO stock VALUES ('W1', 'A', 10), ('W1', 'B', 0),"
+        " ('W2', 'A', 7), ('W2', 'C', 3)"
+    )
+    return RelationalWrapper(db).register_document("stock", "stock")
+
+
+class TestCompositeOids:
+    def test_oid_encodes_both_key_parts(self, wrapper):
+        root = wrapper.materialize_document("stock")
+        oids = {c.oid for c in root.children}
+        assert "&W1/A" in oids
+        assert "&W2/C" in oids
+
+    def test_oid_roundtrip(self, wrapper):
+        assert wrapper.oid_to_key("stock", "&W1/B") == ["W1", "B"]
+
+
+class TestCompositeSqlPin:
+    def test_oid_select_compiles_to_two_predicates(self, wrapper):
+        catalog = SourceCatalog().register(wrapper)
+        plan = TD(
+            "$S",
+            Select(
+                Condition.oid_equals("$S", "&W2/A"),
+                GetD("$K", Path.of("stock"), "$S", MkSrc("stock", "$K")),
+            ),
+        )
+        pushed = push_to_sources(plan, catalog)
+        (rq,) = find_operators(pushed, RelQuery)
+        assert "s1.warehouse = 'W2'" in rq.sql
+        assert "s1.sku = 'A'" in rq.sql
+
+
+class TestCompositeInPlaceQueries:
+    def test_query_from_composite_key_node(self, wrapper):
+        mediator = Mediator().add_source(wrapper)
+        root = mediator.query(
+            "FOR $S IN document(stock)/stock"
+            " RETURN <Item> $S </Item> {$S}"
+        )
+        item = root.d()
+        oid = str(item.oid)
+        assert "/" in oid  # the skolem arg is the composite key
+        result = item.q(
+            "FOR $Q IN document(root)/stock/qty RETURN <Q> $Q </Q>"
+        )
+        quantities = [c.d().d().fv() for c in result.children()]
+        assert len(quantities) == 1

@@ -1,0 +1,158 @@
+"""Integration: SQL NULLs through the stack, and three-level nesting."""
+
+import pytest
+
+from repro import Database, Mediator, RelationalWrapper
+from repro.xmltree import deep_equals
+from repro.engine.vtree import VNode, vnode_to_tree
+from repro.engine.lazy import LazyEngine
+from repro.engine.eager import EagerEngine
+from repro.algebra.translator import translate_query
+from repro.sources import SourceCatalog
+
+
+class TestNulls:
+    @pytest.fixture
+    def mediator(self):
+        db = Database("nullable")
+        db.run(
+            "CREATE TABLE contact (id INT, name TEXT, phone TEXT,"
+            " PRIMARY KEY (id))"
+        )
+        db.run(
+            "INSERT INTO contact VALUES (1, 'ann', '555'),"
+            " (2, 'bob', NULL), (3, NULL, '777')"
+        )
+        return Mediator().add_source(
+            RelationalWrapper(db).register_document("contacts", "contact")
+        )
+
+    def test_null_fields_absent_in_xml_view(self, mediator):
+        root = mediator.query(
+            "FOR $C IN document(contacts)/contact RETURN $C"
+        )
+        by_id = {
+            c.find("id").d().fv(): c for c in root.children()
+        }
+        assert by_id[2].find("phone") is None
+        assert by_id[3].find("name") is None
+        assert by_id[1].find("phone").d().fv() == "555"
+
+    def test_path_over_null_field_drops_binding(self, mediator):
+        root = mediator.query(
+            "FOR $P IN document(contacts)/contact/phone RETURN <P> $P </P>"
+        )
+        phones = sorted(p.d().d().fv() for p in root.children())
+        assert phones == ["555", "777"]
+
+    def test_condition_on_null_is_false(self, mediator):
+        root = mediator.query(
+            "FOR $C IN document(contacts)/contact"
+            " WHERE $C/phone/data() != 'nope' RETURN $C"
+        )
+        # bob (NULL phone) cannot satisfy any comparison.
+        ids = sorted(c.find("id").d().fv() for c in root.children())
+        assert ids == [1, 3]
+
+    def test_pushed_sql_with_null_column_agrees(self, mediator):
+        # The query compiles to SQL; NULL handling must match the
+        # mediator-side semantics.
+        query = (
+            "FOR $C IN document(contacts)/contact"
+            " WHERE $C/phone/data() = '777' RETURN $C"
+        )
+        pushed_ids = sorted(
+            c.find("id").d().fv()
+            for c in mediator.query(query).children()
+        )
+        assert pushed_ids == [3]
+
+
+THREE_LEVEL_VIEW = """
+FOR $C IN document(root1)/customer
+    $O IN document(root2)/order
+    $L IN document(root3)/lineitem
+WHERE $C/id/data() = $O/cid/data()
+  AND $O/orid/data() = $L/orid/data()
+RETURN <Cust> $C
+         <Ord> $O
+           <Item> $L </Item> {$L}
+         </Ord> {$O}
+       </Cust> {$C}
+"""
+
+
+class TestThreeLevelNesting:
+    @pytest.fixture
+    def wrapper(self):
+        db = Database("retail")
+        db.run("CREATE TABLE customer (id TEXT, PRIMARY KEY (id))")
+        db.run(
+            "CREATE TABLE orders (orid INT, cid TEXT, PRIMARY KEY (orid))"
+        )
+        db.run(
+            "CREATE TABLE lineitem (lid INT, orid INT, sku TEXT,"
+            " PRIMARY KEY (lid))"
+        )
+        db.run("INSERT INTO customer VALUES ('A'), ('B')")
+        db.run(
+            "INSERT INTO orders VALUES (1, 'A'), (2, 'A'), (3, 'B')"
+        )
+        db.run(
+            "INSERT INTO lineitem VALUES (10, 1, 'x'), (11, 1, 'y'),"
+            " (12, 2, 'z'), (13, 3, 'w'), (14, 3, 'v')"
+        )
+        return (
+            RelationalWrapper(db)
+            .register_document("root1", "customer")
+            .register_document("root2", "orders", element_label="order")
+            .register_document("root3", "lineitem")
+        )
+
+    def test_structure(self, wrapper):
+        mediator = Mediator().add_source(wrapper)
+        root = mediator.query(THREE_LEVEL_VIEW)
+        shape = {}
+        for cust in root.children():
+            cid = cust.find("customer").find("id").d().fv()
+            orders = {}
+            for ord_elem in cust.children():
+                if ord_elem.fl() != "Ord":
+                    continue
+                orid = ord_elem.find("order").find("orid").d().fv()
+                items = sorted(
+                    item.find("lineitem").find("sku").d().fv()
+                    for item in ord_elem.children()
+                    if item.fl() == "Item"
+                )
+                orders[orid] = items
+            shape[cid] = orders
+        assert shape == {
+            "A": {1: ["x", "y"], 2: ["z"]},
+            "B": {3: ["v", "w"]},
+        }
+
+    def test_lazy_equals_eager_three_levels(self, wrapper):
+        plan = translate_query(THREE_LEVEL_VIEW, root_oid="v")
+        catalog = SourceCatalog().register(wrapper)
+        eager_tree = EagerEngine(catalog).evaluate_tree(plan)
+        lazy_tree = vnode_to_tree(
+            VNode.root(LazyEngine(catalog).evaluate_tree(plan))
+        )
+        assert deep_equals(eager_tree, lazy_tree)
+
+    def test_in_place_query_from_middle_level(self, wrapper):
+        mediator = Mediator().add_source(wrapper)
+        root = mediator.query(THREE_LEVEL_VIEW)
+        cust = root.d()
+        while cust.find("customer").find("id").d().fv() != "A":
+            cust = cust.r()
+        ord_node = cust.find("Ord")
+        result = ord_node.q(
+            "FOR $I IN document(root)/Item RETURN $I"
+        )
+        skus = sorted(
+            i.find("lineitem").find("sku").d().fv()
+            for i in result.children()
+        )
+        assert skus in (["x", "y"], ["z"])  # exactly one order's items

@@ -1,0 +1,117 @@
+"""Property tests: group-by implementations and path algebra."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xmltree import Path, leaf
+from repro.xmltree.paths import Step
+from repro.algebra import BindingTuple
+from repro.engine.gby import presorted_gby_stream, stateful_gby_stream
+from repro.engine.streams import LazyList
+
+
+# -- group-by -------------------------------------------------------------------
+
+group_keys = st.lists(
+    st.integers(0, 6), min_size=0, max_size=30
+).map(sorted)  # sorted input, arbitrary group sizes
+
+
+def to_tuples(keys):
+    return [
+        BindingTuple({"$G": leaf("k{}".format(k)), "$P": leaf(i)})
+        for i, k in enumerate(keys)
+    ]
+
+
+@given(group_keys)
+@settings(max_examples=100, deadline=None)
+def test_presorted_equals_stateful_on_sorted_input(keys):
+    presorted = list(
+        presorted_gby_stream(LazyList(iter(to_tuples(keys))), ("$G",), "$X")
+    )
+    stateful = list(
+        stateful_gby_stream(LazyList(iter(to_tuples(keys))), ("$G",), "$X")
+    )
+    assert len(presorted) == len(stateful)
+    for a, b in zip(presorted, stateful):
+        assert a.get("$G").label == b.get("$G").label
+        assert [t.get("$P").label for t in a.get("$X")] == [
+            t.get("$P").label for t in b.get("$X")
+        ]
+
+
+@given(group_keys)
+@settings(max_examples=100, deadline=None)
+def test_groups_partition_the_input(keys):
+    groups = list(
+        stateful_gby_stream(LazyList(iter(to_tuples(keys))), ("$G",), "$X")
+    )
+    # Every input tuple appears in exactly one partition.
+    recovered = sorted(
+        t.get("$P").label for g in groups for t in g.get("$X")
+    )
+    assert recovered == list(range(len(keys)))
+    # Group keys are distinct.
+    labels = [g.get("$G").label for g in groups]
+    assert len(labels) == len(set(labels))
+
+
+@given(st.lists(st.integers(0, 6), min_size=0, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_stateful_handles_unsorted_input(keys):
+    groups = list(
+        stateful_gby_stream(LazyList(iter(to_tuples(keys))), ("$G",), "$X")
+    )
+    assert len(groups) == len(set(keys))
+
+
+# -- path algebra ------------------------------------------------------------------
+
+label_st = st.from_regex(r"[a-z][a-z0-9]{0,5}", fullmatch=True)
+paths = st.lists(label_st, min_size=1, max_size=5).map(
+    lambda ls: Path.of(*ls)
+)
+
+
+@given(paths)
+@settings(max_examples=100, deadline=None)
+def test_parse_repr_roundtrip(path):
+    assert Path.parse(repr(path)) == path
+
+
+@given(paths, label_st)
+@settings(max_examples=100, deadline=None)
+def test_prepend_then_residual_is_identity(path, label):
+    extended = path.prepend(label)
+    assert extended.starts_with_label(label)
+    assert extended.residual() == path
+
+
+@given(paths)
+@settings(max_examples=100, deadline=None)
+def test_first_labels_consistent_with_starts_with(path):
+    (first,) = path.first_labels()
+    if first is not None:
+        assert path.starts_with_label(first)
+        assert not path.starts_with_label(first + "x")
+
+
+@given(paths, paths)
+@settings(max_examples=100, deadline=None)
+def test_concat_length(p, q):
+    assert len(p.concat(q)) == len(p) + len(q)
+
+
+@given(paths)
+@settings(max_examples=50, deadline=None)
+def test_evaluation_via_matching_chain(path):
+    """Build a chain matching the path exactly; evaluation finds the end."""
+    from repro.xmltree import elem
+
+    labels = [s.label for s in path.steps]
+    node = elem(labels[-1], "v")
+    for label in reversed(labels[:-1]):
+        node = elem(label, node)
+    matches = path.evaluate(node)
+    assert len(matches) == 1
+    assert matches[0].label == labels[-1]

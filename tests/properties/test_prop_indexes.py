@@ -1,0 +1,73 @@
+"""Property tests: index-aware execution is observationally identical."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.relational import Database
+
+rows = st.lists(
+    st.tuples(
+        st.integers(0, 8),                       # cid bucket
+        st.integers(0, 100),                     # value
+    ),
+    min_size=0,
+    max_size=25,
+)
+probes = st.integers(0, 10)
+
+
+def build(data, with_index):
+    db = Database("prop")
+    db.run(
+        "CREATE TABLE orders (orid INT, cid TEXT, value INT,"
+        " PRIMARY KEY (orid))"
+    )
+    for i, (cid, value) in enumerate(data):
+        db.run(
+            "INSERT INTO orders VALUES ({}, 'C{}', {})".format(
+                i, cid, value
+            )
+        )
+    if with_index:
+        db.run("CREATE INDEX by_cid ON orders (cid)")
+    return db
+
+
+@given(rows, probes)
+@settings(max_examples=80, deadline=None)
+def test_point_query_equivalence(data, probe):
+    query = (
+        "SELECT orid, value FROM orders WHERE cid = 'C{}'"
+        " ORDER BY orid".format(probe)
+    )
+    plain = build(data, False).execute(query).fetchall()
+    indexed = build(data, True).execute(query).fetchall()
+    assert plain == indexed
+
+
+@given(rows, probes, st.integers(0, 100))
+@settings(max_examples=80, deadline=None)
+def test_conjunction_equivalence(data, probe, threshold):
+    query = (
+        "SELECT orid FROM orders WHERE cid = 'C{}' AND value > {}"
+        " ORDER BY orid".format(probe, threshold)
+    )
+    plain = build(data, False).execute(query).fetchall()
+    indexed = build(data, True).execute(query).fetchall()
+    assert plain == indexed
+
+
+@given(rows)
+@settings(max_examples=60, deadline=None)
+def test_mutations_keep_index_consistent(data):
+    db = build(data, True)
+    db.run("DELETE FROM orders WHERE value > 50")
+    db.run("INSERT INTO orders VALUES (9999, 'C1', 7)")
+    got = db.execute(
+        "SELECT orid FROM orders WHERE cid = 'C1' ORDER BY orid"
+    ).fetchall()
+    expected = sorted(
+        [i for i, (cid, value) in enumerate(data)
+         if cid == 1 and value <= 50]
+        + [9999]
+    )
+    assert [r[0] for r in got] == expected

@@ -1,0 +1,84 @@
+"""Property tests: XML serialize/parse round-trips and tree invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xmltree import (
+    Node,
+    deep_equals,
+    elem,
+    parse_xml,
+    serialize,
+    tree_size,
+)
+
+# Labels: XML-name-safe identifiers; values: text that survives the
+# trip (stripped, entity-escaped) or integers.
+labels = st.from_regex(r"[a-zA-Z][a-zA-Z0-9_]{0,8}", fullmatch=True)
+text_values = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=0x7F
+    ),
+    min_size=1,
+    max_size=12,
+).filter(lambda s: not s.isdigit())
+int_values = st.integers(min_value=-10**6, max_value=10**6)
+leaf_values = st.one_of(text_values, int_values)
+
+
+def trees(max_depth=3):
+    return st.recursive(
+        st.builds(lambda l, v: elem(l, v), labels, leaf_values),
+        lambda children: st.builds(
+            lambda l, cs: elem(l, *cs),
+            labels,
+            st.lists(children, min_size=1, max_size=4),
+        ),
+        max_leaves=12,
+    )
+
+
+@given(trees())
+@settings(max_examples=150, deadline=None)
+def test_serialize_parse_roundtrip(tree):
+    assert deep_equals(tree, parse_xml(serialize(tree)))
+
+
+@given(trees())
+@settings(max_examples=100, deadline=None)
+def test_indented_form_equivalent(tree):
+    compact = parse_xml(serialize(tree))
+    pretty = parse_xml(serialize(tree, indent=2))
+    assert deep_equals(compact, pretty)
+
+
+@given(trees())
+@settings(max_examples=100, deadline=None)
+def test_tree_size_matches_iteration(tree):
+    assert tree_size(tree) == sum(1 for _ in tree.iter_subtree())
+
+
+@given(trees())
+@settings(max_examples=100, deadline=None)
+def test_deep_equals_reflexive(tree):
+    assert deep_equals(tree, tree)
+    assert deep_equals(tree, tree, compare_oids=True)
+
+
+@given(st.lists(leaf_values, min_size=0, max_size=10))
+@settings(max_examples=100, deadline=None)
+def test_lazy_children_agree_with_eager(values):
+    eager = Node("&e", "list", [elem("v", x) for x in values])
+    lazy = Node("&l", "list", lazy_tail=(elem("v", x) for x in values))
+    assert deep_equals(eager, lazy)
+
+
+@given(st.lists(leaf_values, min_size=1, max_size=10), st.integers(0, 12))
+@settings(max_examples=100, deadline=None)
+def test_lazy_child_indexing(values, index):
+    lazy = Node("&l", "list", lazy_tail=(elem("v", x) for x in values))
+    child = lazy.child(index)
+    if index < len(values):
+        assert child.children[0].label == values[index]
+        assert lazy.materialized_child_count <= index + 1
+    else:
+        assert child is None

@@ -1,0 +1,126 @@
+"""Tests for QdomNode conveniences and mediator mode equivalence."""
+
+import itertools
+
+import pytest
+
+from repro import Mediator
+from repro.xmltree import deep_equals, serialize
+from tests.conftest import Q1, make_paper_wrapper
+
+
+class TestQdomNodeApi:
+    @pytest.fixture
+    def root(self, paper_wrapper):
+        return Mediator().add_source(paper_wrapper).query(Q1)
+
+    def test_oid_property(self, root):
+        assert str(root.oid) == "&view1"
+        assert "f(" in str(root.d().oid)
+
+    def test_to_tree_materializes(self, root):
+        tree = root.to_tree()
+        assert tree.label == "list"
+        assert len(tree.children) == 3
+
+    def test_view_plan_attached(self, root):
+        from repro.algebra import TD
+
+        assert isinstance(root.view_plan, TD)
+        # Children carry the same view plan (needed for q()).
+        assert root.d().view_plan is root.view_plan
+
+    def test_repr(self, root):
+        assert "CustRec" in repr(root.d())
+
+    def test_find_returns_none(self, root):
+        assert root.find("nope") is None
+
+    def test_provenance_on_root(self, root):
+        prov = root.provenance()
+        assert prov.var is None
+
+
+class TestModeMatrix:
+    """All four optimize × lazy combinations (and push_sql) agree."""
+
+    MODES = list(itertools.product([True, False], repeat=3))
+
+    @pytest.mark.parametrize(
+        "optimize,push_sql,lazy", MODES,
+        ids=["opt{}-push{}-lazy{}".format(*m) for m in MODES],
+    )
+    def test_same_result_shape(self, optimize, push_sql, lazy):
+        mediator = Mediator(
+            optimize=optimize, push_sql=push_sql, lazy=lazy
+        ).add_source(make_paper_wrapper())
+        root = mediator.query(Q1)
+        shape = set()
+        for custrec in root.children():
+            cust = custrec.find("customer").find("id").d().fv()
+            orders = frozenset(
+                oi.find("order").find("orid").d().fv()
+                for oi in custrec.children()
+                if oi.fl() == "OrderInfo"
+            )
+            shape.add((cust, orders))
+        assert shape == {
+            ("XYZ", frozenset({28904, 111})),
+            ("DEF", frozenset({222})),
+            ("ABC", frozenset({87456})),
+        }
+
+    @pytest.mark.parametrize("lazy", [True, False])
+    def test_in_place_query_all_modes(self, lazy):
+        mediator = Mediator(lazy=lazy).add_source(make_paper_wrapper())
+        root = mediator.query(Q1)
+        node = root.d()
+        while node.find("customer").find("id").d().fv() != "XYZ":
+            node = node.r()
+        refined = node.q(
+            "FOR $O IN document(root)/OrderInfo"
+            " WHERE $O/order/value/data() > 2000 RETURN $O"
+        )
+        values = [
+            c.find("order").find("value").d().fv()
+            for c in refined.children()
+        ]
+        assert values == [2400]
+
+
+class TestInPlaceQueryWithExtraSources:
+    def test_context_joined_with_another_document(self, paper_wrapper):
+        """An in-place query may join the context with other documents."""
+        from repro.sources import XmlFileSource
+
+        mediator = Mediator().add_source(paper_wrapper)
+        mediator.add_source(
+            XmlFileSource().add_text(
+                "tiers",
+                "<list>"
+                "<tier><floor>1000</floor><name>gold</name></tier>"
+                "<tier><floor>0</floor><name>basic</name></tier>"
+                "</list>",
+            )
+        )
+        root = mediator.query(Q1)
+        node = root.d()
+        while node.find("customer").find("id").d().fv() != "XYZ":
+            node = node.r()
+        result = node.q(
+            "FOR $O IN document(root)/OrderInfo,"
+            " $T IN document(tiers)/tier"
+            " WHERE $O/order/value/data() > $T/floor/data()"
+            " RETURN <Tiered> $O $T </Tiered> {$O, $T}"
+        )
+        pairs = {
+            (
+                t.find("OrderInfo").find("order").find("orid").d().fv(),
+                t.find("tier").find("name").d().fv(),
+            )
+            for t in result.children()
+        }
+        # 2400 beats both floors; 100 beats only the basic floor.
+        assert pairs == {
+            (28904, "gold"), (28904, "basic"), (111, "basic")
+        }

@@ -1,0 +1,153 @@
+"""Tests for the Mediator and the QDOM client API."""
+
+import pytest
+
+from repro import Mediator
+from repro.errors import CompositionError, NavigationError
+from repro import stats as statnames
+from tests.conftest import Q1, Q8, Q12, make_paper_wrapper
+
+
+@pytest.fixture
+def mediator(paper_wrapper, paper_stats):
+    return Mediator(stats=paper_stats).add_source(paper_wrapper)
+
+
+class TestQuery:
+    def test_returns_virtual_root(self, mediator, paper_stats):
+        root = mediator.query(Q1)
+        assert root.fl() == "list"
+        # Virtual: nothing shipped until navigation.
+        assert paper_stats.get(statnames.TUPLES_SHIPPED) == 0
+
+    def test_navigation_commands(self, mediator):
+        root = mediator.query(Q1)
+        first = root.d()
+        assert first.fl() == "CustRec"
+        assert first.fv() is None
+        second = first.r()
+        assert second.fl() == "CustRec"
+        customer = first.d()
+        assert customer.fl() == "customer"
+        id_leaf = customer.d().d()
+        assert id_leaf.fv() in ("XYZ", "DEF", "ABC")
+
+    def test_null_navigation(self, mediator):
+        root = mediator.query(Q1)
+        leaf = root.d().d().d().d()  # down to the id value leaf
+        assert leaf.d() is None
+        assert root.r() is None
+
+    def test_find_and_children_helpers(self, mediator):
+        root = mediator.query(Q1)
+        first = root.d()
+        assert first.find("customer") is not None
+        assert first.find("nothing") is None
+        assert len(root.children()) == 3
+
+    def test_eager_mode(self, paper_wrapper, paper_stats):
+        mediator = Mediator(stats=paper_stats, lazy=False).add_source(
+            paper_wrapper
+        )
+        root = mediator.query(Q1)
+        assert paper_stats.get(statnames.TUPLES_SHIPPED) > 0
+        assert len(root.children()) == 3
+
+    def test_unoptimized_mode(self, paper_wrapper):
+        mediator = Mediator(optimize=False, push_sql=False).add_source(
+            paper_wrapper
+        )
+        root = mediator.query(Q1)
+        assert len(root.children()) == 3
+
+
+class TestQueryInPlace:
+    def test_from_root_composes(self, mediator):
+        root = mediator.query(Q1)
+        refined = root.q(
+            "FOR $R IN document(root)/CustRec,"
+            " $S IN $R/OrderInfo"
+            " WHERE $S/order/value/data() > 20000"
+            " RETURN $R"
+        )
+        ids = sorted(
+            c.find("customer").find("id").d().fv()
+            for c in refined.children()
+        )
+        assert ids == ["ABC", "DEF"]
+
+    def test_from_constructed_node(self, mediator):
+        root = mediator.query(Q1)
+        node = root.d()
+        while node.d().find("id").d().fv() != "XYZ":
+            node = node.r()
+        refined = node.q(Q8)  # orders over 2000 for XYZ
+        values = [
+            c.find("order").find("value").d().fv()
+            for c in refined.children()
+        ]
+        assert values == [2400]
+
+    def test_example_21_sequence(self, mediator):
+        """The paper's Example 2.1, command for command."""
+        p0 = mediator.query(Q1)
+        p1 = p0.d()
+        p2 = p1.r()
+        p3 = p1.d()
+        assert p1.fl() == "CustRec" and p2.fl() == "CustRec"
+        assert p3.fl() == "customer"
+        # Q2: refine from the root (names before "B").
+        p4 = p0.q(
+            'FOR $P IN document(root)/CustRec'
+            ' WHERE $P/customer/name/data() < "B"'
+            ' RETURN $P'
+        )
+        p5 = p4.d()
+        assert p5.fl() == "CustRec"
+        assert p5.find("customer").find("name").d().fv() == "ABCInc."
+        p6 = p5.d()
+        assert p6.fl() == "customer"
+        # Q3 from within the refined CustRec.
+        p9 = p5.q(
+            "FOR $O IN document(root)/OrderInfo"
+            " WHERE $O/order/value/data() < 500 RETURN $O"
+        )
+        assert p9.children() == []  # ABC has only the 200000 order
+
+    def test_query_from_source_element_with_key(self, mediator):
+        root = mediator.query(Q1)
+        customer = root.d().d()  # the customer inside the first CustRec
+        assert customer.fl() == "customer"
+        res = customer.q(
+            "FOR $N IN document(root)/name RETURN <N> $N </N>"
+        )
+        names = [c.d().d().fv() for c in res.children()]
+        assert len(names) == 1
+
+    def test_query_from_unaddressable_node_rejected(self, mediator):
+        root = mediator.query(Q1)
+        id_field = root.d().d().d()  # the id field element
+        assert id_field.fl() == "id"
+        with pytest.raises(NavigationError):
+            id_field.q("FOR $X IN document(root)/x RETURN $X")
+
+
+class TestLazinessThroughQdom:
+    def test_browsing_prefix_ships_prefix(self, paper_stats):
+        from tests.conftest import make_scaled_wrapper
+
+        wrapper = make_scaled_wrapper(300, 4, stats=paper_stats)
+        mediator = Mediator(stats=paper_stats).add_source(wrapper)
+        root = mediator.query(Q1)
+        node = root.d()
+        node = node.r()
+        node = node.r()
+        shipped = paper_stats.get(statnames.TUPLES_SHIPPED)
+        assert shipped < 40  # a prefix, not the 1500-tuple join
+
+    def test_provenance_exposed(self, paper_wrapper):
+        mediator = Mediator().add_source(paper_wrapper)
+        root = mediator.query(Q1)
+        prov = root.d().provenance()
+        assert prov.var is not None
+        assert len(prov.fixed) == 1

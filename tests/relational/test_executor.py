@@ -1,0 +1,201 @@
+"""Unit tests for the pipelined SQL executor."""
+
+import pytest
+
+from repro.errors import SchemaError, SqlError
+from repro.relational import Database
+from repro.relational.executor import compare
+from repro.stats import StatsRegistry
+from repro import stats as statnames
+
+
+@pytest.fixture
+def db():
+    database = Database("test", stats=StatsRegistry())
+    database.run(
+        "CREATE TABLE customer (id TEXT, name TEXT, addr TEXT,"
+        " PRIMARY KEY (id))"
+    )
+    database.run(
+        "CREATE TABLE orders (orid INT, cid TEXT, value INT,"
+        " PRIMARY KEY (orid))"
+    )
+    database.run(
+        "INSERT INTO customer VALUES ('XYZ','XYZInc.','LA'),"
+        " ('DEF','DEFCorp.','NY'), ('ABC','ABCInc.','SD')"
+    )
+    database.run(
+        "INSERT INTO orders VALUES (1,'XYZ',100), (2,'XYZ',2400),"
+        " (3,'ABC',200000), (4,'DEF',30000)"
+    )
+    return database
+
+
+class TestCompare:
+    def test_numeric(self):
+        assert compare(1, "<", 2)
+        assert compare(2.5, ">=", 2)
+        assert not compare(1, ">", 2)
+
+    def test_strings(self):
+        assert compare("a", "<", "b")
+        assert compare("a", "=", "a")
+
+    def test_null_always_false(self):
+        assert not compare(None, "=", None)
+        assert not compare(None, "<", 1)
+
+    def test_mixed_types_equality_only(self):
+        assert not compare("5", "=", 5)
+        assert compare("5", "!=", 5)
+        assert not compare("5", "<", 6)
+
+
+class TestSelect:
+    def test_projection(self, db):
+        rows = db.execute("SELECT name FROM customer ORDER BY id").fetchall()
+        assert rows == [("ABCInc.",), ("DEFCorp.",), ("XYZInc.",)]
+
+    def test_star(self, db):
+        cursor = db.execute("SELECT * FROM customer")
+        assert cursor.column_names == ["id", "name", "addr"]
+        assert len(cursor.fetchall()) == 3
+
+    def test_filter(self, db):
+        rows = db.execute(
+            "SELECT orid FROM orders WHERE value > 1000 ORDER BY orid"
+        ).fetchall()
+        assert rows == [(2,), (3,), (4,)]
+
+    def test_equi_join(self, db):
+        rows = db.execute(
+            "SELECT c.id, o.value FROM customer c, orders o"
+            " WHERE c.id = o.cid ORDER BY c.id, o.orid"
+        ).fetchall()
+        assert rows == [
+            ("ABC", 200000), ("DEF", 30000), ("XYZ", 100), ("XYZ", 2400)
+        ]
+
+    def test_self_join(self, db):
+        rows = db.execute(
+            "SELECT a.orid, b.orid FROM orders a, orders b"
+            " WHERE a.cid = b.cid AND a.orid < b.orid"
+        ).fetchall()
+        assert rows == [(1, 2)]
+
+    def test_cross_product(self, db):
+        rows = db.execute(
+            "SELECT c.id, o.orid FROM customer c, orders o"
+        ).fetchall()
+        assert len(rows) == 12
+
+    def test_theta_join(self, db):
+        rows = db.execute(
+            "SELECT a.orid, b.orid FROM orders a, orders b"
+            " WHERE a.value < b.value AND a.cid = b.cid"
+        ).fetchall()
+        assert rows == [(1, 2)]
+
+    def test_four_way_join_fig22(self, db):
+        rows = db.execute(
+            "SELECT DISTINCT c1.id, o1.orid FROM customer c1, orders o1,"
+            " customer c2, orders o2 WHERE c1.id = o1.cid"
+            " AND c2.id = o2.cid AND c1.id = c2.id AND o2.value > 20000"
+            " ORDER BY c1.id, o1.orid"
+        ).fetchall()
+        assert rows == [("ABC", 3), ("DEF", 4)]
+
+    def test_distinct(self, db):
+        rows = db.execute(
+            "SELECT DISTINCT cid FROM orders ORDER BY cid"
+        ).fetchall()
+        assert rows == [("ABC",), ("DEF",), ("XYZ",)]
+
+    def test_unqualified_unambiguous_column(self, db):
+        rows = db.execute(
+            "SELECT name FROM customer WHERE id = 'XYZ'"
+        ).fetchall()
+        assert rows == [("XYZInc.",)]
+
+    def test_ambiguous_column_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.execute(
+                "SELECT cid FROM orders a, orders b WHERE a.orid = b.orid"
+            ).fetchall()
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.execute("SELECT nope FROM customer")
+
+    def test_unknown_table_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.execute("SELECT * FROM missing")
+
+    def test_duplicate_alias_rejected(self, db):
+        with pytest.raises(SqlError):
+            db.execute("SELECT * FROM customer c, orders c")
+
+
+class TestPipelining:
+    def test_filter_scans_only_whats_needed(self, db):
+        before = db.stats.get(statnames.ROWS_SCANNED)
+        cursor = db.execute("SELECT id FROM customer")
+        cursor.fetchone()
+        after = db.stats.get(statnames.ROWS_SCANNED)
+        assert after - before == 1
+
+    def test_join_probe_side_is_lazy(self, db):
+        # customer is the probe side; fetching one row should not scan
+        # all customers (orders, the build side, is fully scanned).
+        before = db.stats.get(statnames.ROWS_SCANNED)
+        cursor = db.execute(
+            "SELECT c.id FROM customer c, orders o WHERE c.id = o.cid"
+        )
+        cursor.fetchone()
+        scanned = db.stats.get(statnames.ROWS_SCANNED) - before
+        assert scanned < 3 + 4  # strictly less than everything
+
+    def test_closed_cursor_stops(self, db):
+        cursor = db.execute("SELECT * FROM customer")
+        cursor.fetchone()
+        cursor.close()
+        assert cursor.fetchone() is None
+
+    def test_order_by_materializes(self, db):
+        before = db.stats.get(statnames.ROWS_SCANNED)
+        cursor = db.execute("SELECT id FROM customer ORDER BY id")
+        cursor.fetchone()
+        assert db.stats.get(statnames.ROWS_SCANNED) - before == 3
+
+
+class TestDml:
+    def test_delete(self, db):
+        assert db.run("DELETE FROM orders WHERE cid = 'XYZ'") == 2
+        assert len(db.table("orders")) == 2
+
+    def test_update(self, db):
+        assert db.run("UPDATE orders SET value = 0 WHERE orid = 1") == 1
+        rows = db.execute("SELECT value FROM orders WHERE orid = 1").fetchall()
+        assert rows == [(0,)]
+
+    def test_run_rejects_select(self, db):
+        with pytest.raises(SqlError):
+            db.run("SELECT * FROM customer")
+
+    def test_execute_rejects_dml(self, db):
+        with pytest.raises(SqlError):
+            db.execute("DELETE FROM customer")
+
+
+class TestCursorCounting:
+    def test_tuples_shipped(self, db):
+        before = db.stats.get(statnames.TUPLES_SHIPPED)
+        cursor = db.execute("SELECT * FROM customer")
+        cursor.fetchmany(2)
+        assert db.stats.get(statnames.TUPLES_SHIPPED) - before == 2
+
+    def test_sql_queries_counted(self, db):
+        before = db.stats.get(statnames.SQL_QUERIES)
+        db.execute("SELECT * FROM customer")
+        db.execute("SELECT * FROM orders")
+        assert db.stats.get(statnames.SQL_QUERIES) - before == 2

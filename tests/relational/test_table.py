@@ -1,0 +1,115 @@
+"""Unit tests for in-memory tables."""
+
+import pytest
+
+from repro.errors import IntegrityError, SchemaError
+from repro.relational import Column, INTEGER, TEXT, Table, TableSchema
+from repro.stats import StatsRegistry
+from repro import stats as statnames
+
+
+def make_table(stats=None, key=("id",)):
+    schema = TableSchema(
+        "t", [Column("id", INTEGER), Column("name", TEXT)], primary_key=key
+    )
+    return Table(schema, stats=stats)
+
+
+class TestInsert:
+    def test_insert_and_len(self):
+        table = make_table()
+        table.insert([1, "a"])
+        table.insert([2, "b"])
+        assert len(table) == 2
+
+    def test_type_coercion_on_insert(self):
+        table = make_table()
+        row = table.insert(["3", 42])
+        assert row == (3, "42")
+
+    def test_duplicate_key_rejected(self):
+        table = make_table()
+        table.insert([1, "a"])
+        with pytest.raises(IntegrityError):
+            table.insert([1, "b"])
+
+    def test_keyless_table_allows_duplicates(self):
+        table = make_table(key=())
+        table.insert([1, "a"])
+        table.insert([1, "a"])
+        assert len(table) == 2
+
+    def test_insert_many(self):
+        table = make_table()
+        assert table.insert_many([[1, "a"], [2, "b"]]) == 2
+
+
+class TestScan:
+    def test_scan_counts_rows(self):
+        stats = StatsRegistry()
+        table = make_table(stats=stats)
+        table.insert_many([[1, "a"], [2, "b"], [3, "c"]])
+        list(table.scan())
+        assert stats.get(statnames.ROWS_SCANNED) == 3
+
+    def test_scan_is_lazy(self):
+        stats = StatsRegistry()
+        table = make_table(stats=stats)
+        table.insert_many([[i, "x"] for i in range(100)])
+        it = table.scan()
+        next(it)
+        next(it)
+        assert stats.get(statnames.ROWS_SCANNED) == 2
+
+    def test_snapshot_not_counted(self):
+        stats = StatsRegistry()
+        table = make_table(stats=stats)
+        table.insert([1, "a"])
+        assert table.rows_snapshot() == [(1, "a")]
+        assert stats.get(statnames.ROWS_SCANNED) == 0
+
+
+class TestKeyLookup:
+    def test_lookup(self):
+        table = make_table()
+        table.insert([1, "a"])
+        assert table.lookup_key([1]) == (1, "a")
+        assert table.lookup_key([9]) is None
+
+    def test_lookup_without_key(self):
+        table = make_table(key=())
+        table.insert([1, "a"])
+        with pytest.raises(SchemaError):
+            table.lookup_key([1])
+
+
+class TestMutation:
+    def test_delete_where(self):
+        table = make_table()
+        table.insert_many([[1, "a"], [2, "b"], [3, "a"]])
+        removed = table.delete_where(lambda row: row[1] == "a")
+        assert removed == 2
+        assert len(table) == 1
+
+    def test_delete_rebuilds_key_index(self):
+        table = make_table()
+        table.insert_many([[1, "a"], [2, "b"]])
+        table.delete_where(lambda row: row[0] == 1)
+        table.insert([1, "again"])  # key free again
+        assert len(table) == 2
+
+    def test_update_where(self):
+        table = make_table()
+        table.insert_many([[1, "a"], [2, "b"]])
+        changed = table.update_where(
+            lambda row: row[0] == 2, lambda row: (row[0], "B")
+        )
+        assert changed == 1
+        assert table.lookup_key([2]) == (2, "B")
+
+    def test_update_key_collision_rejected(self):
+        table = make_table()
+        table.insert_many([[1, "a"], [2, "b"]])
+        with pytest.raises(IntegrityError):
+            table.update_where(lambda row: row[0] == 2,
+                               lambda row: (1, row[1]))

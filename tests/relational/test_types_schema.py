@@ -1,0 +1,81 @@
+"""Unit tests for column types and table schemas."""
+
+import pytest
+
+from repro.errors import SchemaError, TypeMismatchError
+from repro.relational import Column, INTEGER, REAL, TEXT, TableSchema
+
+
+class TestTypes:
+    def test_integer_accepts(self):
+        assert INTEGER.accept(5) == 5
+        assert INTEGER.accept("7") == 7
+        assert INTEGER.accept(3.0) == 3
+
+    def test_integer_rejects(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.accept("abc")
+        with pytest.raises(TypeMismatchError):
+            INTEGER.accept(3.5)
+
+    def test_real(self):
+        assert REAL.accept(3) == 3.0
+        assert REAL.accept("2.5") == 2.5
+        with pytest.raises(TypeMismatchError):
+            REAL.accept("x")
+
+    def test_text(self):
+        assert TEXT.accept("abc") == "abc"
+        assert TEXT.accept(5) == "5"
+
+    def test_null_always_accepted(self):
+        for t in (INTEGER, REAL, TEXT):
+            assert t.accept(None) is None
+
+    def test_type_equality(self):
+        assert INTEGER == INTEGER
+        assert INTEGER != TEXT
+
+
+class TestSchema:
+    def _schema(self):
+        return TableSchema(
+            "customer",
+            [Column("id", TEXT), Column("name", TEXT)],
+            primary_key=("id",),
+        )
+
+    def test_column_names(self):
+        assert self._schema().column_names == ["id", "name"]
+
+    def test_column_index(self):
+        schema = self._schema()
+        assert schema.column_index("name") == 1
+        with pytest.raises(SchemaError):
+            schema.column_index("nope")
+
+    def test_key_indexes(self):
+        assert self._schema().key_indexes() == [0]
+
+    def test_validate_row(self):
+        assert self._schema().validate_row(["a", "b"]) == ("a", "b")
+
+    def test_validate_row_arity(self):
+        with pytest.raises(SchemaError):
+            self._schema().validate_row(["only-one"])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", TEXT), Column("a", TEXT)])
+
+    def test_unknown_key_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", TEXT)], primary_key=("b",))
+
+    def test_bad_column_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("a", "TEXT")

@@ -1,0 +1,127 @@
+"""Unit tests for the rewriter's analysis helpers."""
+
+from repro.xmltree.paths import Path
+from repro.algebra import (
+    Apply,
+    Cat,
+    Condition,
+    CrElt,
+    GetD,
+    GroupBy,
+    Join,
+    MkSrc,
+    NestedSrc,
+    RQVar,
+    RelQuery,
+    Select,
+    TD,
+)
+from repro.algebra.translator import translate_query
+from repro.rewriter.context import RewriteContext
+from tests.conftest import Q1
+
+
+class TestVarLabels:
+    def test_crelt_label(self):
+        plan = CrElt("CustRec", "f", (), "$W", False, "$V",
+                     MkSrc("d", "$W"))
+        assert RewriteContext(plan).var_labels("$V") == {"CustRec"}
+
+    def test_getd_last_label(self):
+        plan = GetD("$K", Path.parse("customer.id"), "$X",
+                    MkSrc("d", "$K"))
+        assert RewriteContext(plan).var_labels("$X") == {"id"}
+
+    def test_getd_wildcard_unknown(self):
+        plan = GetD("$K", Path.parse("customer.*"), "$X",
+                    MkSrc("d", "$K"))
+        assert None in RewriteContext(plan).var_labels("$X")
+
+    def test_relquery_label(self):
+        plan = RelQuery(
+            "s", "SELECT 1",
+            [RQVar("$C", "customer", [(0, "id")], (0,))],
+        )
+        assert RewriteContext(plan).var_labels("$C") == {"customer"}
+
+    def test_mksrc_unknown(self):
+        plan = MkSrc("d", "$K")
+        assert RewriteContext(plan).var_labels("$K") == {None}
+
+    def test_undefined_var_unknown(self):
+        plan = MkSrc("d", "$K")
+        assert RewriteContext(plan).var_labels("$MISSING") == {None}
+
+
+class TestListItemLabels:
+    def test_cat_merges_operand_labels(self):
+        plan = translate_query(Q1, root_oid="v")
+        ctx = RewriteContext(plan)
+        cat = plan.input.input  # the cat under crElt(CustRec)
+        assert isinstance(cat, Cat)
+        labels = ctx.list_item_labels(cat.out_var)
+        assert "customer" in labels
+        assert "OrderInfo" in labels
+
+    def test_apply_with_td_plan(self):
+        plan = translate_query(Q1, root_oid="v")
+        ctx = RewriteContext(plan)
+        apply_op = plan.input.input.input
+        assert isinstance(apply_op, Apply)
+        assert ctx.list_item_labels(apply_op.out_var) == {"OrderInfo"}
+
+    def test_unknown_list_var(self):
+        plan = MkSrc("d", "$K")
+        assert RewriteContext(plan).list_item_labels("$Z") == {None}
+
+
+class TestLabelsCanMatch:
+    def test_unknown_always_matches(self):
+        ctx = RewriteContext(MkSrc("d", "$K"))
+        assert ctx.labels_can_match({None}, Path.parse("anything"))
+
+    def test_label_match(self):
+        ctx = RewriteContext(MkSrc("d", "$K"))
+        assert ctx.labels_can_match({"a", "b"}, Path.parse("a.x"))
+        assert not ctx.labels_can_match({"a"}, Path.parse("b.x"))
+
+
+class TestUsedAbove:
+    def test_direct_ancestors(self):
+        inner = MkSrc("d", "$K")
+        middle = GetD("$K", Path.of("c"), "$C", inner)
+        top = Select(Condition.var_const("$C", "=", 1), middle)
+        ctx = RewriteContext(top)
+        assert "$C" in ctx.used_above(inner)
+        assert "$K" in ctx.used_above(inner)
+        # Nothing is above the root.
+        assert ctx.used_above(top) == set()
+
+    def test_join_sibling_branch_counted(self):
+        left = MkSrc("a", "$A")
+        right = Select(
+            Condition.var_const("$B", "=", 1), MkSrc("b", "$B")
+        )
+        join = Join((Condition.key_equals("$A", "$B"),), left, right)
+        plan = TD("$A", join)
+        used = RewriteContext(plan).used_above(left)
+        assert "$B" in used  # the sibling's select
+        assert "$A" in used  # join condition and tD
+
+    def test_node_not_in_plan_is_conservative(self):
+        plan = TD("$A", MkSrc("d", "$A"))
+        stray = MkSrc("x", "$X")
+        used = RewriteContext(plan).used_above(stray)
+        assert "$A" in used  # falls back to everything used anywhere
+
+    def test_nested_plan_target(self):
+        plan = translate_query(Q1, root_oid="v")
+        ctx = RewriteContext(plan)
+        nested_src = None
+        from repro.algebra.plan import iter_operators
+
+        for op in iter_operators(plan):
+            if isinstance(op, NestedSrc):
+                nested_src = op
+        used = ctx.used_above(nested_src)
+        assert "$O" in used  # the inner crElt consumes $O

@@ -1,0 +1,189 @@
+"""Edge cases of the SQL split: what must NOT be pushed."""
+
+import pytest
+
+from repro import Database, RelationalWrapper
+from repro.xmltree.paths import Path
+from repro.algebra import (
+    Condition,
+    GetD,
+    MkSrc,
+    OrderBy,
+    RelQuery,
+    Select,
+    TD,
+)
+from repro.algebra.plan import find_operators
+from repro.algebra.translator import translate_query
+from repro.rewriter import push_to_sources
+from repro.sources import SourceCatalog
+from tests.conftest import make_paper_wrapper
+
+
+@pytest.fixture
+def catalog():
+    return SourceCatalog().register(make_paper_wrapper())
+
+
+def keyless_catalog():
+    db = Database("keyless")
+    db.run("CREATE TABLE log (msg TEXT, level INT)")  # no primary key
+    db.run("INSERT INTO log VALUES ('a', 1), ('b', 2)")
+    wrapper = RelationalWrapper(db).register_document("logs", "log")
+    return SourceCatalog().register(wrapper)
+
+
+class TestNotPushable:
+    def test_oid_select_on_keyless_table(self):
+        catalog = keyless_catalog()
+        plan = TD(
+            "$L",
+            Select(
+                Condition.oid_equals("$L", "&whatever"),
+                GetD("$K", Path.of("log"), "$L", MkSrc("logs", "$K")),
+            ),
+        )
+        pushed = push_to_sources(plan, catalog)
+        # The oid select cannot compile (no key columns); the scan part
+        # below it still becomes SQL, the select stays at the mediator.
+        (rq,) = find_operators(pushed, RelQuery)
+        assert "WHERE" not in rq.sql
+        assert isinstance(pushed.input, Select)
+
+    def test_join_across_servers_not_merged(self):
+        db_a = Database("a")
+        db_a.run("CREATE TABLE t1 (x INT, PRIMARY KEY (x))")
+        db_a.run("INSERT INTO t1 VALUES (1)")
+        db_b = Database("b")
+        db_b.run("CREATE TABLE t2 (y INT, PRIMARY KEY (y))")
+        db_b.run("INSERT INTO t2 VALUES (1)")
+        catalog = SourceCatalog()
+        catalog.register(
+            RelationalWrapper(db_a, server_name="srvA")
+            .register_document("d1", "t1")
+        )
+        catalog.register(
+            RelationalWrapper(db_b, server_name="srvB")
+            .register_document("d2", "t2")
+        )
+        plan = translate_query(
+            "FOR $A IN document(d1)/t1, $B IN document(d2)/t2"
+            " WHERE $A/x/data() = $B/y/data()"
+            " RETURN <R> $A $B </R>",
+            root_oid="v",
+        )
+        pushed = push_to_sources(plan, catalog)
+        # No single-server subtree covers the join; at most per-source
+        # scans could compile, and bare scans are not worth pushing.
+        rqs = find_operators(pushed, RelQuery)
+        for rq in rqs:
+            assert rq.server in ("srvA", "srvB")
+        assert len(find_operators(pushed, MkSrc)) + len(rqs) == 2
+
+    def test_wildcard_path_not_compiled(self, catalog):
+        plan = TD(
+            "$F",
+            GetD(
+                "$C", Path.parse("customer.*"), "$F",
+                GetD("$K", Path.of("customer"), "$C",
+                     MkSrc("root1", "$K")),
+            ),
+        )
+        pushed = push_to_sources(plan, catalog)
+        # The wildcard getD stays above; only the inner scan compiles.
+        (rq,) = find_operators(pushed, RelQuery)
+        assert "WHERE" not in rq.sql
+        assert isinstance(pushed.input, GetD)
+
+    def test_unknown_field_not_compiled(self, catalog):
+        plan = TD(
+            "$F",
+            Select(
+                Condition.var_const("$F", "=", 1),
+                GetD(
+                    "$C", Path.parse("customer.notacolumn"), "$F",
+                    GetD("$K", Path.of("customer"), "$C",
+                         MkSrc("root1", "$K")),
+                ),
+            ),
+        )
+        pushed = push_to_sources(plan, catalog)
+        # Neither the unknown-field getD nor the select on it compile.
+        (rq,) = find_operators(pushed, RelQuery)
+        assert "notacolumn" not in rq.sql
+        assert isinstance(pushed.input, Select)
+        assert isinstance(pushed.input.input, GetD)
+
+    def test_value_condition_on_tuple_var_not_compiled(self, catalog):
+        # A value comparison against the whole tuple object cannot map
+        # to a column.
+        plan = TD(
+            "$C",
+            Select(
+                Condition.var_const("$C", "=", "XYZ"),
+                GetD("$K", Path.of("customer"), "$C",
+                     MkSrc("root1", "$K")),
+            ),
+        )
+        pushed = push_to_sources(plan, catalog)
+        # The select stays above (a whole tuple object has no column);
+        # the rQ below carries no WHERE.
+        (rq,) = find_operators(pushed, RelQuery)
+        assert "WHERE" not in rq.sql
+        assert isinstance(pushed.input, Select)
+
+
+class TestPushableExtras:
+    def test_orderby_compiles_to_order_by(self, catalog):
+        plan = TD(
+            "$C",
+            OrderBy(
+                ("$C",),
+                Select(
+                    Condition.var_const("$1", "!=", "ZZZ"),
+                    GetD(
+                        "$C", Path.parse("customer.id.data()"), "$1",
+                        GetD("$K", Path.of("customer"), "$C",
+                             MkSrc("root1", "$K")),
+                    ),
+                ),
+            ),
+        )
+        pushed = push_to_sources(plan, catalog)
+        (rq,) = find_operators(pushed, RelQuery)
+        assert "ORDER BY c1.id" in rq.sql
+
+    def test_field_var_export(self, catalog):
+        # A live field variable is exported as its own column.
+        plan = TD(
+            "$1",
+            Select(
+                Condition.var_const("$1", "!=", "ZZZ"),
+                GetD(
+                    "$C", Path.parse("customer.id"), "$1",
+                    GetD("$K", Path.of("customer"), "$C",
+                         MkSrc("root1", "$K")),
+                ),
+            ),
+        )
+        pushed = push_to_sources(plan, catalog)
+        (rq,) = find_operators(pushed, RelQuery)
+        kinds = {entry.var: entry.kind for entry in rq.varmap}
+        assert kinds["$1"] == "field"
+
+    def test_data_leaf_export(self, catalog):
+        plan = TD(
+            "$1",
+            Select(
+                Condition.var_const("$1", "!=", "ZZZ"),
+                GetD(
+                    "$C", Path.parse("customer.id.data()"), "$1",
+                    GetD("$K", Path.of("customer"), "$C",
+                         MkSrc("root1", "$K")),
+                ),
+            ),
+        )
+        pushed = push_to_sources(plan, catalog)
+        (rq,) = find_operators(pushed, RelQuery)
+        kinds = {entry.var: entry.kind for entry in rq.varmap}
+        assert kinds["$1"] == "leaf"

@@ -1,0 +1,95 @@
+"""Tests for mediator-to-mediator federation (the paper's §4 remark)."""
+
+import pytest
+
+from repro import Mediator, StatsRegistry
+from repro import stats as statnames
+from repro.errors import SourceError
+from repro.sources import MediatorSource, SourceCatalog
+from tests.conftest import Q1, make_paper_wrapper, make_scaled_wrapper
+
+
+@pytest.fixture
+def lower_mediator():
+    return Mediator().add_source(make_paper_wrapper())
+
+
+class TestMediatorSource:
+    def test_register_and_list(self, lower_mediator):
+        source = MediatorSource(lower_mediator).register_view("v", Q1)
+        assert source.document_ids() == ["v"]
+
+    def test_unknown_view(self, lower_mediator):
+        with pytest.raises(SourceError):
+            MediatorSource(lower_mediator).materialize_document("nope")
+
+    def test_materialize_matches_lower_result(self, lower_mediator):
+        source = MediatorSource(lower_mediator).register_view("v", Q1)
+        root = source.materialize_document("v")
+        assert root.label == "list"
+        assert len(root.children) == 3
+        assert all(c.label == "CustRec" for c in root.children)
+        first = root.children[0]
+        assert first.children[0].label == "customer"
+
+    def test_navigations_counted(self, lower_mediator):
+        stats = StatsRegistry()
+        source = MediatorSource(lower_mediator, stats=stats)
+        source.register_view("v", Q1)
+        iterator = source.iter_document_children("v")
+        next(iterator)
+        assert stats.get(statnames.SOURCE_NAVIGATIONS) == 1
+
+    def test_invalidate_reruns_query(self, lower_mediator):
+        source = MediatorSource(lower_mediator).register_view("v", Q1)
+        first = source.materialize_document("v")
+        source.invalidate("v")
+        second = source.materialize_document("v")
+        assert len(first.children) == len(second.children)
+
+
+class TestFederatedQuerying:
+    def test_upper_mediator_over_lower_view(self, lower_mediator):
+        federated = MediatorSource(lower_mediator).register_view(
+            "custview", Q1
+        )
+        upper = Mediator().add_source(federated)
+        result = upper.query(
+            "FOR $R IN document(custview)/CustRec"
+            ' WHERE $R/customer/addr/data() = "NewYork"'
+            " RETURN $R"
+        )
+        recs = result.children()
+        assert len(recs) == 1
+        assert recs[0].find("customer").find("id").d().fv() == "DEF"
+
+    def test_federated_navigation_is_lazy(self):
+        stats = StatsRegistry()
+        lower = Mediator(stats=stats).add_source(
+            make_scaled_wrapper(200, 2, stats=stats)
+        )
+        federated = MediatorSource(lower, stats=stats).register_view(
+            "v", Q1
+        )
+        upper = Mediator(stats=stats).add_source(federated)
+        root = upper.query(
+            "FOR $R IN document(v)/CustRec RETURN $R"
+        )
+        root.d()
+        # Browsing one upper result must not force the lower mediator to
+        # evaluate its whole view (which would be 400 joined tuples).
+        assert stats.get(statnames.TUPLES_SHIPPED) < 40
+
+    def test_three_level_stack(self, lower_mediator):
+        middle = Mediator().add_source(
+            MediatorSource(lower_mediator).register_view("v1", Q1)
+        )
+        top = Mediator().add_source(
+            MediatorSource(middle).register_view(
+                "v2", "FOR $R IN document(v1)/CustRec RETURN $R"
+            )
+        )
+        result = top.query(
+            "FOR $R IN document(v2)/CustRec RETURN <Top> $R </Top>"
+        )
+        assert len(result.children()) == 3

@@ -1,0 +1,19 @@
+"""Tests for the ``python -m repro`` entry point."""
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "p1 = d(p0)" in out
+        assert "CustRec" in out
+        assert "q(Q3, p5)" in out
+
+    def test_usage_on_unknown_command(self, capsys):
+        assert main(["nope"]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_usage_on_no_command(self, capsys):
+        assert main([]) == 2

@@ -1,0 +1,96 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.errors import MixError
+from repro.workloads import (
+    AuctionSpec,
+    CustomersOrdersSpec,
+    build_auction,
+    build_customers_orders,
+)
+
+
+class TestCustomersOrders:
+    def test_default_shape(self):
+        built = build_customers_orders(n_customers=10,
+                                       orders_per_customer=3)
+        assert len(built.database.table("customer")) == 10
+        assert len(built.database.table("orders")) == 30
+        assert built.wrapper.document_ids() == ["root1", "root2"]
+
+    def test_ladder_values(self):
+        built = build_customers_orders(
+            n_customers=2, orders_per_customer=3, value_mode="ladder",
+            value_step=50,
+        )
+        values = sorted(
+            row[2] for row in built.database.table("orders").rows_snapshot()
+        )
+        assert values == [50, 50, 100, 100, 150, 150]
+
+    def test_tiered_values_give_exact_selectivity(self):
+        built = build_customers_orders(
+            n_customers=20, orders_per_customer=2, value_mode="tiered",
+            value_step=100, tiers=10,
+        )
+        cursor = built.database.execute(
+            "SELECT DISTINCT cid FROM orders WHERE value > 950"
+        )
+        assert len(cursor.fetchall()) == 2  # 10% of 20
+
+    def test_uniform_values_deterministic_by_seed(self):
+        a = build_customers_orders(
+            n_customers=5, orders_per_customer=2, value_mode="uniform",
+            seed=7,
+        )
+        b = build_customers_orders(
+            n_customers=5, orders_per_customer=2, value_mode="uniform",
+            seed=7,
+        )
+        assert (
+            a.database.table("orders").rows_snapshot()
+            == b.database.table("orders").rows_snapshot()
+        )
+
+    def test_bad_value_mode(self):
+        with pytest.raises(MixError):
+            CustomersOrdersSpec(value_mode="nope")
+
+    def test_spec_and_kwargs_conflict(self):
+        with pytest.raises(MixError):
+            build_customers_orders(CustomersOrdersSpec(), n_customers=5)
+
+    def test_mediator_helper(self):
+        built = build_customers_orders(n_customers=3,
+                                       orders_per_customer=1)
+        root = built.mediator().query(
+            "FOR $C IN document(root1)/customer RETURN $C"
+        )
+        assert len(root.children()) == 3
+
+
+class TestAuction:
+    def test_shape(self):
+        built = build_auction(n_cameras=20)
+        assert len(built.database.table("camera")) == 20
+        spec = built.spec
+        lenses = len(built.database.table("lens"))
+        assert spec.min_lenses * 20 <= lenses <= spec.max_lenses * 20
+
+    def test_deterministic(self):
+        a = build_auction(n_cameras=10, seed=3)
+        b = build_auction(n_cameras=10, seed=3)
+        assert (
+            a.database.table("lens").rows_snapshot()
+            == b.database.table("lens").rows_snapshot()
+        )
+
+    def test_queryable(self):
+        built = build_auction(n_cameras=15)
+        root = built.mediator().query(
+            "FOR $C IN document(cameras)/camera"
+            " WHERE $C/price/data() < 300 RETURN $C"
+        )
+        for camera in root.children():
+            assert camera.find("price").d().fv() < 300

@@ -1,0 +1,94 @@
+"""Unit tests for the XML text parser."""
+
+import pytest
+
+from repro.errors import XmlParseError
+from repro.xmltree import parse_xml
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        root = parse_xml("<a/>")
+        assert root.label == "a"
+        assert root.is_leaf
+
+    def test_text_content(self):
+        root = parse_xml("<id>XYZ</id>")
+        assert root.label == "id"
+        assert root.children[0].label == "XYZ"
+
+    def test_numeric_coercion(self):
+        root = parse_xml("<value>2400</value>")
+        assert root.children[0].label == 2400
+
+    def test_float_coercion(self):
+        root = parse_xml("<value>3.5</value>")
+        assert root.children[0].label == 3.5
+
+    def test_coercion_disabled(self):
+        root = parse_xml("<value>2400</value>", coerce_numbers=False)
+        assert root.children[0].label == "2400"
+
+    def test_nested_elements(self):
+        root = parse_xml(
+            "<customer><id>XYZ</id><name>XYZInc.</name></customer>"
+        )
+        assert [c.label for c in root.children] == ["id", "name"]
+
+    def test_whitespace_between_elements_ignored(self):
+        root = parse_xml("<a>\n  <b>1</b>\n  <c>2</c>\n</a>")
+        assert [c.label for c in root.children] == ["b", "c"]
+
+    def test_attributes_lifted_to_children(self):
+        root = parse_xml('<a x="1" y="two"/>')
+        assert [c.label for c in root.children] == ["x", "y"]
+        assert root.children[0].children[0].label == 1
+        assert root.children[1].children[0].label == "two"
+
+    def test_mixed_attr_and_elements(self):
+        root = parse_xml('<a x="1"><b>2</b></a>')
+        assert [c.label for c in root.children] == ["x", "b"]
+
+    def test_entities(self):
+        root = parse_xml("<a>x &lt; y &amp; z</a>")
+        assert root.children[0].label == "x < y & z"
+
+    def test_numeric_entities(self):
+        root = parse_xml("<a>&#65;&#x42;</a>")
+        assert root.children[0].label == "AB"
+
+    def test_cdata(self):
+        root = parse_xml("<a><![CDATA[<raw>]]></a>")
+        assert root.children[0].label == "<raw>"
+
+    def test_comments_skipped(self):
+        root = parse_xml("<a><!-- hi --><b>1</b></a>")
+        assert [c.label for c in root.children] == ["b"]
+
+    def test_xml_declaration_skipped(self):
+        root = parse_xml('<?xml version="1.0"?><a/>')
+        assert root.label == "a"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "just text",
+            "<a>",
+            "<a></b>",
+            "<a><b></a></b>",
+            "<a/><b/>",
+            "<a x=1/>",
+            "<a>&unknown;</a>",
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(XmlParseError):
+            parse_xml(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(XmlParseError) as info:
+            parse_xml("<a></b>")
+        assert info.value.position is not None

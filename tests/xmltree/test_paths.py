@@ -1,0 +1,120 @@
+"""Unit tests for path expressions and their Table-2 algebra."""
+
+import pytest
+
+from repro.errors import MixError, ParseError
+from repro.xmltree import Path, Step, DATA_STEP, WILDCARD, elem
+
+
+@pytest.fixture
+def customer():
+    return elem(
+        "customer",
+        elem("id", "XYZ"),
+        elem("name", "XYZInc."),
+        elem("addr", "LosAngeles"),
+        oid="&XYZ123",
+    )
+
+
+class TestParsing:
+    def test_dotted(self):
+        path = Path.parse("customer.id")
+        assert len(path) == 2
+        assert repr(path) == "customer.id"
+
+    def test_slashes(self):
+        assert Path.parse("customer/id") == Path.parse("customer.id")
+
+    def test_data_step(self):
+        path = Path.parse("customer.id.data()")
+        assert path.ends_with_data()
+
+    def test_wildcard(self):
+        path = Path.parse("customer.*")
+        assert path.steps[1] == WILDCARD
+
+    def test_empty(self):
+        assert Path.parse("").is_empty()
+
+    def test_blank_step_rejected(self):
+        with pytest.raises(ParseError):
+            Path.parse("a..b")
+
+    def test_data_must_be_last(self):
+        with pytest.raises(MixError):
+            Path([DATA_STEP, Step(Step.LABEL, "x")])
+
+
+class TestEvaluation:
+    def test_single_step_matches_self(self, customer):
+        assert Path.of("customer").evaluate(customer) == [customer]
+
+    def test_single_step_mismatch(self, customer):
+        assert Path.of("order").evaluate(customer) == []
+
+    def test_two_steps(self, customer):
+        matches = Path.of("customer", "id").evaluate(customer)
+        assert [m.label for m in matches] == ["id"]
+
+    def test_data_step_atomizes(self, customer):
+        matches = Path.parse("customer.id.data()").evaluate(customer)
+        assert [m.label for m in matches] == ["XYZ"]
+
+    def test_data_on_leaf(self):
+        node = elem("id", "XYZ").children[0]
+        assert Path.parse("data()").evaluate(node) == [node]
+
+    def test_wildcard_step(self, customer):
+        matches = Path.parse("customer.*").evaluate(customer)
+        assert [m.label for m in matches] == ["id", "name", "addr"]
+
+    def test_multiple_matches(self):
+        tree = elem("list", elem("a", "1"), elem("a", "2"), elem("b", "3"))
+        matches = Path.of("list", "a").evaluate(tree)
+        assert len(matches) == 2
+
+    def test_deep_path(self):
+        tree = elem("a", elem("b", elem("c", "v")))
+        matches = Path.of("a", "b", "c").evaluate(tree)
+        assert len(matches) == 1
+        assert matches[0].label == "c"
+
+    def test_empty_path_yields_start(self, customer):
+        assert Path(()).evaluate(customer) == [customer]
+
+    def test_data_on_complex_element_empty(self, customer):
+        assert Path.parse("customer.data()").evaluate(customer) == []
+
+
+class TestPathAlgebra:
+    def test_first_labels(self):
+        assert Path.of("customer", "id").first_labels() == {"customer"}
+        assert Path.parse("*.id").first_labels() == {None}
+        assert Path(()).first_labels() == set()
+
+    def test_starts_with_label(self):
+        assert Path.of("a", "b").starts_with_label("a")
+        assert not Path.of("a", "b").starts_with_label("b")
+        assert Path.parse("*.b").starts_with_label("anything")
+
+    def test_residual(self):
+        assert Path.of("a", "b").residual() == Path.of("b")
+        with pytest.raises(MixError):
+            Path(()).residual()
+
+    def test_prepend(self):
+        assert Path.of("b").prepend("a") == Path.of("a", "b")
+
+    def test_concat(self):
+        assert Path.of("a").concat(Path.of("b")) == Path.of("a", "b")
+
+    def test_without_data(self):
+        path = Path.parse("a.b.data()")
+        assert path.without_data() == Path.of("a", "b")
+        assert Path.of("a").without_data() == Path.of("a")
+
+    def test_equality_and_hash(self):
+        assert Path.of("a", "b") == Path.of("a", "b")
+        assert hash(Path.of("a")) == hash(Path.of("a"))
+        assert Path.of("a") != Path.of("b")

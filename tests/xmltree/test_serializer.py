@@ -1,0 +1,52 @@
+"""Unit tests for XML serialization (and round-tripping)."""
+
+from repro.xmltree import deep_equals, elem, parse_xml, serialize
+from repro.xmltree.serializer import from_python, to_python
+
+
+class TestSerialize:
+    def test_leaf_only_element_compact(self):
+        assert serialize(elem("id", "XYZ")) == "<id>XYZ</id>"
+
+    def test_escaping(self):
+        assert serialize(elem("a", "x < & y")) == "<a>x &lt; &amp; y</a>"
+
+    def test_nested_compact(self):
+        node = elem("a", elem("b", "1"), elem("c", "2"))
+        assert serialize(node) == "<a><b>1</b><c>2</c></a>"
+
+    def test_indented(self):
+        node = elem("a", elem("b", "1"), elem("c", elem("d", "2")))
+        text = serialize(node, indent=2)
+        assert "  <b>1</b>" in text
+        assert "    <d>2</d>" in text
+
+    def test_show_oids(self):
+        node = elem("a", oid="&x")
+        assert "&x" in serialize(node, show_oids=True)
+
+    def test_roundtrip(self):
+        node = elem(
+            "customer",
+            elem("id", "XYZ"),
+            elem("value", 2400),
+            elem("nested", elem("deep", "v")),
+        )
+        again = parse_xml(serialize(node, indent=2))
+        assert deep_equals(node, again)
+
+
+class TestPythonBridge:
+    def test_to_python(self):
+        node = elem("a", elem("b", "1"))
+        assert to_python(node) == ("a", [("b", ["1"])])
+
+    def test_from_python_roundtrip(self):
+        data = ("a", [("b", ["1"]), "stray", ("c", [2, 3])])
+        assert to_python(from_python(data)) == data
+
+    def test_empty_element_is_a_leaf(self):
+        # The paper's model has no empty elements distinct from leaves:
+        # a childless node's label is its value.
+        node = from_python(("c", []))
+        assert to_python(node) == "c"

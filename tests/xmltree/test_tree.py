@@ -1,0 +1,168 @@
+"""Unit tests for the labeled ordered tree model."""
+
+import pytest
+
+from repro.errors import MixError
+from repro.xmltree import (
+    Node,
+    OidGenerator,
+    atomize,
+    deep_equals,
+    elem,
+    leaf,
+    tree_size,
+)
+
+
+class TestNodeBasics:
+    def test_leaf_has_value(self):
+        node = leaf("XYZ")
+        assert node.is_leaf
+        assert node.value == "XYZ"
+
+    def test_numeric_leaf(self):
+        node = leaf(2400)
+        assert node.value == 2400
+
+    def test_element_has_no_value(self):
+        node = elem("customer", elem("id", "XYZ"))
+        assert not node.is_leaf
+        assert node.value is None
+
+    def test_elem_wraps_scalars(self):
+        node = elem("id", "XYZ")
+        assert len(node.children) == 1
+        assert node.children[0].label == "XYZ"
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(MixError):
+            Node("&1", ["not", "a", "label"])
+
+    def test_invalid_child_rejected(self):
+        with pytest.raises(MixError):
+            elem("a", object())
+
+    def test_explicit_oid(self):
+        node = elem("customer", oid="&XYZ123")
+        assert node.oid == "&XYZ123"
+
+    def test_child_navigation(self):
+        node = elem("a", elem("b"), elem("c"))
+        assert node.child(0).label == "b"
+        assert node.child(1).label == "c"
+        assert node.child(2) is None
+        assert node.child(-1) is None
+        assert node.first_child().label == "b"
+
+    def test_children_labeled_and_find(self):
+        node = elem("a", elem("x", "1"), elem("y", "2"), elem("x", "3"))
+        assert len(node.children_labeled("x")) == 2
+        assert node.find("y").label == "y"
+        assert node.find("zzz") is None
+
+    def test_append(self):
+        node = elem("a")
+        node.append(leaf("v"))
+        assert node.children[0].label == "v"
+
+    def test_iter_subtree_preorder(self):
+        node = elem("a", elem("b", "1"), elem("c"))
+        labels = [n.label for n in node.iter_subtree()]
+        assert labels == ["a", "b", "1", "c"]
+
+    def test_tree_size(self):
+        node = elem("a", elem("b", "1"), elem("c"))
+        assert tree_size(node) == 4
+
+
+class TestLazyChildren:
+    def _lazy_node(self, count):
+        def tail():
+            for i in range(count):
+                yield leaf(i)
+
+        return Node("&l", "list", lazy_tail=tail())
+
+    def test_child_forces_prefix_only(self):
+        node = self._lazy_node(10)
+        assert node.child(2).label == 2
+        assert node.materialized_child_count == 3
+        assert not node.fully_materialized
+
+    def test_children_property_forces_all(self):
+        node = self._lazy_node(5)
+        assert len(node.children) == 5
+        assert node.fully_materialized
+
+    def test_child_beyond_end(self):
+        node = self._lazy_node(2)
+        assert node.child(5) is None
+        assert node.fully_materialized
+
+    def test_is_leaf_forces_one(self):
+        assert self._lazy_node(0).is_leaf
+        node = self._lazy_node(3)
+        assert not node.is_leaf
+        assert node.materialized_child_count == 1
+
+    def test_append_rejected_while_lazy(self):
+        node = self._lazy_node(3)
+        with pytest.raises(MixError):
+            node.append(leaf("x"))
+
+    def test_repr_marks_laziness(self):
+        node = self._lazy_node(3)
+        assert "lazy" in repr(node)
+
+
+class TestDeepEquals:
+    def test_equal_ignores_oids(self):
+        a = elem("x", elem("y", "1"))
+        b = elem("x", elem("y", "1"))
+        assert a.oid != b.oid
+        assert deep_equals(a, b)
+
+    def test_compare_oids(self):
+        a = elem("x", oid="&1")
+        b = elem("x", oid="&2")
+        assert deep_equals(a, b)
+        assert not deep_equals(a, b, compare_oids=True)
+
+    def test_label_mismatch(self):
+        assert not deep_equals(elem("x"), elem("y"))
+
+    def test_child_count_mismatch(self):
+        assert not deep_equals(elem("x", "a"), elem("x", "a", "b"))
+
+    def test_none_handling(self):
+        assert deep_equals(None, None)
+        assert not deep_equals(elem("x"), None)
+
+
+class TestAtomize:
+    def test_leaf(self):
+        assert atomize(leaf("v")) == "v"
+
+    def test_single_leaf_child(self):
+        assert atomize(elem("id", "XYZ")) == "XYZ"
+
+    def test_numeric(self):
+        assert atomize(elem("value", 2400)) == 2400
+
+    def test_complex_element(self):
+        node = elem("customer", elem("id", "X"), elem("name", "N"))
+        assert atomize(node) is None
+
+    def test_none(self):
+        assert atomize(None) is None
+
+
+class TestOidGenerator:
+    def test_fresh_sequence(self):
+        gen = OidGenerator("t")
+        assert gen.fresh() == "&t1"
+        assert gen.fresh() == "&t2"
+
+    def test_independent_generators(self):
+        a, b = OidGenerator("a"), OidGenerator("a")
+        assert a.fresh() == b.fresh()

@@ -1,0 +1,179 @@
+"""Unit tests for the XQuery-subset parser (Fig. 4)."""
+
+import pytest
+
+from repro.errors import XQueryParseError
+from repro.xquery import (
+    Comparison,
+    DocRoot,
+    ElemExpr,
+    Literal,
+    PathOperand,
+    QueryExpr,
+    VarRef,
+    VarRoot,
+    parse_xquery,
+)
+from tests.conftest import Q1, Q8, Q12
+
+
+class TestForClause:
+    def test_single_binding(self):
+        q = parse_xquery("FOR $A IN document(d)/x RETURN $A")
+        assert len(q.for_bindings) == 1
+        binding = q.for_bindings[0]
+        assert binding.var == "$A"
+        assert binding.operand.root == DocRoot("d")
+        assert repr(binding.operand.path) == "x"
+
+    def test_source_spelling(self):
+        q = parse_xquery("FOR $A IN source(&root1)/customer RETURN $A")
+        assert q.for_bindings[0].operand.root == DocRoot("root1")
+
+    def test_multiple_bindings_with_and_without_comma(self):
+        q = parse_xquery(
+            "FOR $A IN document(d)/x, $B IN document(d)/y\n"
+            "    $C IN $A/z RETURN $A"
+        )
+        assert [b.var for b in q.for_bindings] == ["$A", "$B", "$C"]
+        assert q.for_bindings[2].operand.root == VarRoot("$A")
+
+    def test_multi_step_path(self):
+        q = parse_xquery("FOR $A IN document(d)/x/y/z RETURN $A")
+        assert repr(q.for_bindings[0].operand.path) == "x.y.z"
+
+    def test_case_insensitive_keywords(self):
+        q = parse_xquery("for $A in document(d)/x return $A")
+        assert isinstance(q, QueryExpr)
+
+
+class TestWhereClause:
+    def test_path_vs_literal(self):
+        q = parse_xquery(
+            "FOR $O IN document(d)/order WHERE $O/value < 500 RETURN $O"
+        )
+        cond = q.conditions[0]
+        assert isinstance(cond.left, PathOperand)
+        assert cond.op == "<"
+        assert cond.right == Literal(500)
+
+    def test_string_literal(self):
+        q = parse_xquery(
+            'FOR $P IN document(d)/x WHERE $P/name < "B" RETURN $P'
+        )
+        assert q.conditions[0].right == Literal("B")
+
+    def test_data_step(self):
+        q = parse_xquery(
+            "FOR $C IN document(d)/c WHERE $C/id/data() = 5 RETURN $C"
+        )
+        assert q.conditions[0].left.path.ends_with_data()
+
+    def test_and_conjunction(self):
+        q = parse_xquery(
+            "FOR $A IN document(d)/x WHERE $A/p = 1 AND $A/q > 2 RETURN $A"
+        )
+        assert len(q.conditions) == 2
+
+    def test_float_literal(self):
+        q = parse_xquery(
+            "FOR $A IN document(d)/x WHERE $A/speed < 0.4 RETURN $A"
+        )
+        assert q.conditions[0].right == Literal(0.4)
+
+    def test_not_equal_normalized(self):
+        q = parse_xquery(
+            "FOR $A IN document(d)/x WHERE $A/p <> 1 RETURN $A"
+        )
+        assert q.conditions[0].op == "!="
+
+
+class TestReturnClause:
+    def test_bare_variable(self):
+        q = parse_xquery("FOR $A IN document(d)/x RETURN $A")
+        assert isinstance(q.ret, VarRef)
+
+    def test_element_with_groupby(self):
+        q = parse_xquery(Q1)
+        ret = q.ret
+        assert isinstance(ret, ElemExpr)
+        assert ret.label == "CustRec"
+        assert ret.group_by == ("$C",)
+        assert isinstance(ret.contents[0], VarRef)
+        inner = ret.contents[1]
+        assert isinstance(inner, ElemExpr)
+        assert inner.label == "OrderInfo"
+        assert inner.group_by == ("$O",)
+
+    def test_nested_query_content(self):
+        q = parse_xquery(
+            "FOR $A IN document(d)/x RETURN <R> "
+            "FOR $B IN document(d)/y RETURN $B"
+            " </R>"
+        )
+        assert isinstance(q.ret.contents[0], QueryExpr)
+
+    def test_multi_var_groupby(self):
+        q = parse_xquery(
+            "FOR $A IN document(d)/x, $B IN document(d)/y "
+            "RETURN <R> $A $B </R> {$A, $B}"
+        )
+        assert q.ret.group_by == ("$A", "$B")
+
+    def test_percent_comments_stripped(self):
+        q = parse_xquery(
+            "FOR $C IN document(d)/c % bind customers\n"
+            "RETURN $C % done\n"
+        )
+        assert isinstance(q, QueryExpr)
+
+
+class TestPaperQueries:
+    def test_q1(self):
+        q = parse_xquery(Q1)
+        assert [b.var for b in q.for_bindings] == ["$C", "$O"]
+        assert len(q.conditions) == 1
+
+    def test_q8(self):
+        q = parse_xquery(Q8)
+        assert q.for_bindings[0].operand.root.is_query_root
+
+    def test_q12(self):
+        q = parse_xquery(Q12)
+        assert isinstance(q.ret, VarRef)
+        assert q.free_vars() == set()
+
+    def test_q2_name_prefix_query(self):
+        q = parse_xquery(
+            'FOR $P IN document(root)/CustRec\n'
+            'WHERE $P/customer/name < "B"\n'
+            'RETURN $P'
+        )
+        assert q.conditions[0].right == Literal("B")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "RETURN $A",
+            "FOR $A document(d)/x RETURN $A",
+            "FOR $A IN document(d) RETURN $A",
+            "FOR $A IN document(d)/x RETURN <R> $A </Q>",
+            "FOR $A IN document(d)/x RETURN <R> $A",
+            "FOR $A IN document(d)/x WHERE $A RETURN $A trailing",
+            "FOR $A IN document(d)/x WHERE RETURN $A",
+        ],
+    )
+    def test_malformed(self, text):
+        with pytest.raises(XQueryParseError):
+            parse_xquery(text)
+
+
+class TestFreeVars:
+    def test_correlated_subquery_detected(self):
+        q = parse_xquery(
+            "FOR $B IN $A/y WHERE $B/p = $C/q RETURN <R> $D </R>"
+        )
+        assert q.free_vars() == {"$A", "$C", "$D"}

@@ -1,0 +1,46 @@
+"""Tests for the XQuery unparser (render/parse round-trips)."""
+
+import pytest
+
+from repro.xquery import parse_xquery
+from repro.xquery.printer import render_query
+from tests.conftest import Q1, Q8, Q12
+
+
+def roundtrip(text):
+    first = parse_xquery(text)
+    rendered = render_query(first)
+    second = parse_xquery(rendered)
+    return first, rendered, second
+
+
+@pytest.mark.parametrize("text", [Q1, Q8, Q12])
+def test_paper_queries_roundtrip(text):
+    first, rendered, second = roundtrip(text)
+    assert repr(first) == repr(second)
+
+
+def test_literal_rendering():
+    __, rendered, __ = roundtrip(
+        'FOR $A IN document(d)/x WHERE $A/n/data() = "B" AND $A/v > 5 '
+        "RETURN $A"
+    )
+    assert '"B"' in rendered
+    assert "5" in rendered
+
+
+def test_nested_query_rendering():
+    __, rendered, __ = roundtrip(
+        "FOR $A IN document(d)/x RETURN <R> $A "
+        "FOR $B IN document(d)/y RETURN $B </R>"
+    )
+    assert rendered.count("FOR") == 2
+
+
+def test_groupby_rendering():
+    __, rendered, __ = roundtrip(
+        "FOR $A IN document(d)/x, $B IN document(d)/y "
+        "RETURN <R> $A <S> $B </S> {$B} </R> {$A}"
+    )
+    assert "{$A}" in rendered
+    assert "{$B}" in rendered
