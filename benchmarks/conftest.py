@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Database, Mediator, RelationalWrapper, StatsRegistry
+from repro import Database, Instrument, Mediator, RelationalWrapper
 from repro.sources import SourceCatalog
 
 #: Fig. 3 (Q1), phrased against the wrapper documents.

@@ -23,7 +23,7 @@ from repro.algebra.translator import translate_query
 from repro.composer import compose_at_root
 from repro.engine.eager import EagerEngine
 from repro.rewriter import Rewriter, push_to_sources
-from repro import Database, RelationalWrapper, StatsRegistry
+from repro import Database, Instrument, RelationalWrapper
 from repro.sources import SourceCatalog
 from benchmarks.conftest import (
     COMPOSE_QUERY_TEMPLATE,
@@ -39,7 +39,7 @@ def build_catalog(n_customers=N_CUSTOMERS, orders_per=ORDERS_PER):
     """Customer i's orders all have value 100*((i%10)+1): a threshold of
     ``100*t - 50`` keeps exactly the top ``(10-t)/10`` of customers, so
     the sweep has known selectivities."""
-    stats = StatsRegistry()
+    stats = Instrument()
     db = Database("bench", stats=stats)
     db.run(
         "CREATE TABLE customer (id TEXT, name TEXT, addr TEXT,"

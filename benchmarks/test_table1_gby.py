@@ -15,7 +15,7 @@ from __future__ import annotations
 import pytest
 
 from repro import stats as statnames
-from repro.stats import StatsRegistry
+from repro.obs import Instrument
 from repro.xmltree import leaf
 from repro.algebra import BindingTuple
 from repro.engine.gby import presorted_gby_stream, stateful_gby_stream
@@ -67,7 +67,7 @@ def test_buffering_sweep():
     rows = []
     for n_groups in (10, 100, 500):
         per_group = 10
-        stats_presorted = StatsRegistry()
+        stats_presorted = Instrument()
         list(
             presorted_gby_stream(
                 LazyList(sorted_tuples(n_groups, per_group)),
@@ -76,7 +76,7 @@ def test_buffering_sweep():
                 stats=stats_presorted,
             )
         )
-        stats_stateful = StatsRegistry()
+        stats_stateful = Instrument()
         list(
             stateful_gby_stream(
                 LazyList(sorted_tuples(n_groups, per_group)),

@@ -16,13 +16,13 @@ Run:  python examples/auction_browsing.py
 
 import random
 
-from repro import Database, Mediator, RelationalWrapper, StatsRegistry
+from repro import Database, Instrument, Mediator, RelationalWrapper
 
 random.seed(20020226)  # ICDE 2002
 
 # -- a synthetic auction catalog -------------------------------------------------
 
-stats = StatsRegistry()
+stats = Instrument()
 db = Database("auction", stats=stats)
 db.run("CREATE TABLE camera (cid TEXT, model TEXT, price INT,"
        " afspeed REAL, rating TEXT, PRIMARY KEY (cid))")

@@ -10,11 +10,11 @@ mediator's view* and the client browses it with a BBQ-style session.
 Run:  python examples/federation.py
 """
 
-from repro import Database, Mediator, RelationalWrapper, StatsRegistry
+from repro import Database, Instrument, Mediator, RelationalWrapper
 from repro.sources import MediatorSource, XmlFileSource
 from repro.qdom import Session
 
-stats = StatsRegistry()
+stats = Instrument()
 
 # -- two independent relational sources ------------------------------------------
 

@@ -10,7 +10,7 @@ and an eager evaluation of the same view pays for everything up front.
 Run:  python examples/lazy_streaming.py
 """
 
-from repro import Database, Mediator, RelationalWrapper, StatsRegistry
+from repro import Database, Instrument, Mediator, RelationalWrapper
 
 N_CUSTOMERS = 1000
 ORDERS_PER = 6
@@ -56,7 +56,7 @@ print("Database: {} customers x {} orders = {} join tuples".format(
     N_CUSTOMERS, ORDERS_PER, N_CUSTOMERS * ORDERS_PER))
 
 print("\nLazy (navigation-driven) session:")
-stats = StatsRegistry()
+stats = Instrument()
 mediator = Mediator(stats=stats).add_source(build(stats))
 root = mediator.query(VIEW)
 show(stats, "after query() - nothing evaluated")
@@ -75,7 +75,7 @@ while sibling is not None:
 show(stats, "after r()* - the whole order group")
 
 print("\nEager baseline (full materialization):")
-stats2 = StatsRegistry()
+stats2 = Instrument()
 mediator2 = Mediator(stats=stats2, lazy=False).add_source(build(stats2))
 mediator2.query(VIEW)
 show(stats2, "after query() - everything evaluated")

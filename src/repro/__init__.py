@@ -17,7 +17,10 @@ paper, from scratch:
   (Sections 5-6);
 * :mod:`repro.rewriter` — the Table-2 rewriting optimizer and the
   SQL push-down split (Fig. 22);
-* :mod:`repro.qdom` — the QDOM client API and the mediator itself.
+* :mod:`repro.qdom` — the QDOM client API and the mediator itself;
+* :mod:`repro.obs` — the observability layer: one instrumentation bus
+  carrying counters, per-operator metrics, and navigation-level traces
+  (``EXPLAIN ANALYZE``, JSON trace export).
 
 Quickstart::
 
@@ -51,6 +54,14 @@ from repro.errors import (
     TranslationError,
     XQueryParseError,
 )
+from repro.obs import (
+    Instrument,
+    Span,
+    explain_analyze,
+    render_explain,
+    trace_to_dict,
+    trace_to_json,
+)
 from repro.stats import StatsRegistry
 from repro.relational import Database
 from repro.sources import RelationalWrapper, SourceCatalog, XmlFileSource
@@ -69,6 +80,7 @@ __all__ = [
     "Database",
     "EagerEngine",
     "EvaluationError",
+    "Instrument",
     "LazyEngine",
     "Mediator",
     "MixError",
@@ -81,6 +93,7 @@ __all__ = [
     "Rewriter",
     "SourceCatalog",
     "SourceError",
+    "Span",
     "SqlError",
     "StatsRegistry",
     "TranslationError",
@@ -89,8 +102,12 @@ __all__ = [
     "XmlFileSource",
     "compose_at_root",
     "decontextualize",
+    "explain_analyze",
     "parse_xquery",
     "push_to_sources",
+    "render_explain",
     "render_plan",
+    "trace_to_dict",
+    "trace_to_json",
     "translate_query",
 ]

@@ -7,7 +7,10 @@ Commands:
 * ``figures``  — regenerate the paper's figure artifacts (plans, result
   trees, the rewriting trace, and the Fig. 22 SQL) to stdout;
 * ``bench``    — print the quantitative experiment series without
-  needing pytest.
+  needing pytest;
+* ``explain``  — EXPLAIN ANALYZE the paper's Q1 (or a query read from a
+  file with ``explain <path>``) against the Fig. 2 database; ``--json``
+  additionally prints the JSON trace of a single ``d`` navigation.
 """
 
 from __future__ import annotations
@@ -16,9 +19,9 @@ import sys
 
 
 def _paper_mediator():
-    from repro import Database, Mediator, RelationalWrapper, StatsRegistry
+    from repro import Database, Instrument, Mediator, RelationalWrapper
 
-    stats = StatsRegistry()
+    stats = Instrument()
     db = Database("paper", stats=stats)
     db.run("CREATE TABLE customer (id TEXT, name TEXT, addr TEXT,"
            " PRIMARY KEY (id))")
@@ -44,7 +47,7 @@ RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}
 """
 
 
-def cmd_demo():
+def cmd_demo(args=()):
     """Example 2.1, command for command, with traffic counters."""
     stats, mediator = _paper_mediator()
 
@@ -86,7 +89,7 @@ def cmd_demo():
     return 0
 
 
-def cmd_figures():
+def cmd_figures(args=()):
     """Regenerate the paper's artifacts to stdout."""
     import subprocess
 
@@ -96,7 +99,7 @@ def cmd_figures():
     )
 
 
-def cmd_bench():
+def cmd_bench(args=()):
     """Print the experiment series (no pytest-benchmark timings)."""
     import subprocess
 
@@ -106,18 +109,53 @@ def cmd_bench():
     )
 
 
+def cmd_explain(args=()):
+    """EXPLAIN ANALYZE a query against the paper's Fig. 2 database."""
+    from repro.errors import MixError
+    from repro.obs import trace_to_json
+
+    args = list(args)
+    as_json = "--json" in args
+    while "--json" in args:
+        args.remove("--json")
+    query = Q1
+    if args:
+        try:
+            with open(args[0], "r", encoding="utf-8") as handle:
+                query = handle.read()
+        except OSError as exc:
+            print("explain: cannot read {}: {}".format(args[0], exc),
+                  file=sys.stderr)
+            return 1
+    __, mediator = _paper_mediator()
+    try:
+        print(mediator.explain(query))
+    except MixError as exc:
+        print("explain: {}".format(exc), file=sys.stderr)
+        return 1
+    if as_json:
+        # One navigation into the (fresh) virtual result: its trace links
+        # the d command to the operator pulls and the SQL they caused.
+        root = mediator.query(query)
+        root.d()
+        print()
+        print(trace_to_json(root.last_trace()))
+    return 0
+
+
 def main(argv=None):
     argv = argv if argv is not None else sys.argv[1:]
     commands = {
         "demo": cmd_demo,
         "figures": cmd_figures,
         "bench": cmd_bench,
+        "explain": cmd_explain,
     }
     if not argv or argv[0] not in commands:
         print(__doc__)
-        print("usage: python -m repro {demo|figures|bench}")
+        print("usage: python -m repro {demo|figures|bench|explain}")
         return 2
-    return commands[argv[0]]()
+    return commands[argv[0]](argv[1:])
 
 
 if __name__ == "__main__":

@@ -17,7 +17,8 @@ from repro.algebra.bindings import BindingSet, BindingTuple
 from repro.algebra.conditions import skolem_arg_of
 from repro.algebra.values import Skolem, VList, value_key
 from repro.engine.pathvals import eval_path_on_value
-from repro.stats import StatsRegistry
+from repro.obs.instrument import Instrument
+from repro.obs.tokens import node_token
 
 
 class EagerEngine:
@@ -25,9 +26,12 @@ class EagerEngine:
 
     def __init__(self, catalog, stats=None, oids=None, profiler=None):
         self.catalog = catalog
-        self.stats = stats or StatsRegistry()
+        self.stats = stats or Instrument()
+        self.obs = self.stats
         self.oids = oids or OidGenerator("e")
         self.profiler = profiler
+        if profiler is not None:
+            profiler.bind(self.obs)
 
     # -- entry points ---------------------------------------------------------
 
@@ -56,9 +60,17 @@ class EagerEngine:
         handler = self._HANDLERS.get(type(plan))
         if handler is None:
             raise PlanError("no eager handler for {}".format(type(plan).__name__))
-        result = handler(self, plan, nested_env)
-        if self.profiler is not None and isinstance(result, BindingSet):
-            self.profiler.record(plan, len(result))
+        token = node_token(plan)
+        name = getattr(plan, "opname", type(plan).__name__)
+        attrs = (
+            {"server": plan.server, "sql": plan.sql}
+            if isinstance(plan, ops.RelQuery)
+            else {}
+        )
+        with self.obs.operator_span(name, key=token, **attrs):
+            result = handler(self, plan, nested_env)
+            if isinstance(result, BindingSet):
+                self.obs.record_node(token, len(result))
         return result
 
     def _tuples(self, plan, nested_env):
@@ -93,6 +105,8 @@ class EagerEngine:
 
     def _eval_relquery(self, plan, nested_env):
         server = self.catalog.server(plan.server)
+        self.obs.incr(statnames.RQ_STATEMENTS)
+        self.obs.event("sql", plan.sql, server=plan.server)
         cursor = server.execute_sql(plan.sql)
         out = BindingSet()
         for row in cursor:

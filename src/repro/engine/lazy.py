@@ -38,7 +38,8 @@ from repro.engine.gby import (
 )
 from repro.engine.pathvals import eval_path_on_value
 from repro.engine.streams import LazyList
-from repro.stats import StatsRegistry
+from repro.obs.instrument import Instrument
+from repro.obs.tokens import node_token
 
 
 class LazyEngine:
@@ -54,10 +55,13 @@ class LazyEngine:
     def __init__(self, catalog, stats=None, oids=None,
                  force_stateful_gby=False, profiler=None):
         self.catalog = catalog
-        self.stats = stats or StatsRegistry()
+        self.stats = stats or Instrument()
+        self.obs = self.stats
         self.oids = oids or OidGenerator("L")
         self.force_stateful_gby = force_stateful_gby
         self.profiler = profiler
+        if profiler is not None:
+            profiler.bind(self.obs)
 
     # -- entry points -----------------------------------------------------------
 
@@ -87,10 +91,26 @@ class LazyEngine:
         return LazyList(self._counted(handler(self, plan, env), plan))
 
     def _counted(self, generator, plan):
-        for t in generator:
-            self.stats.incr(statnames.OPERATOR_TUPLES)
-            if self.profiler is not None:
-                self.profiler.record(plan)
+        obs = self.obs
+        generator = iter(generator)
+        token = node_token(plan)
+        name = getattr(plan, "opname", type(plan).__name__)
+        attrs = (
+            {"server": plan.server, "sql": plan.sql}
+            if isinstance(plan, ops.RelQuery)
+            else {}
+        )
+        while True:
+            # Each pull runs inside the operator's merged span, so the
+            # work is attributed to whichever navigation command caused
+            # it — and the wall time lands on this plan node.
+            with obs.operator_span(name, key=token, **attrs):
+                try:
+                    t = next(generator)
+                except StopIteration:
+                    return
+                obs.incr(statnames.OPERATOR_TUPLES)
+                obs.record_node(token)
             yield t
 
     # -- tD and the virtual tree ---------------------------------------------------
@@ -107,6 +127,19 @@ class LazyEngine:
 
     def _td_children(self, plan, env):
         """The child elements a ``tD`` exports, as a lazy generator."""
+        obs = self.obs
+        token = node_token(plan)
+        inner = self._td_children_raw(plan, env)
+        while True:
+            with obs.operator_span("tD", key=token):
+                try:
+                    item = next(inner)
+                except StopIteration:
+                    return
+                obs.record_node(token)
+            yield item
+
+    def _td_children_raw(self, plan, env):
         for t in self.stream(plan.input, env):
             value = t.get(plan.var)
             if isinstance(value, Node):
@@ -137,6 +170,8 @@ class LazyEngine:
 
     def _eval_relquery(self, plan, env):
         server = self.catalog.server(plan.server)
+        self.obs.incr(statnames.RQ_STATEMENTS)
+        self.obs.event("sql", plan.sql, server=plan.server)
         cursor = server.execute_sql(plan.sql)
         from repro.engine.eager import _assemble_rq_element
 

@@ -6,6 +6,13 @@ paper's figure style with a ``[n tuples]`` annotation per line — which
 makes the effect of each Table-2 rewrite directly visible (compare the
 naive and optimized compositions of the same query).
 
+Since the observability refactor the profiler is a thin adapter over the
+node metrics of a :class:`repro.obs.Instrument`: counts are keyed on
+stable :func:`~repro.obs.tokens.node_token`\\ s instead of ``id()``
+(CPython reuses ids after garbage collection, so long-running processes
+profiling many plans could silently alias counts across unrelated
+operators).  The richer renderer lives in :mod:`repro.obs.explain`.
+
 ::
 
     profiler = Profiler()
@@ -19,27 +26,53 @@ from __future__ import annotations
 
 from repro.algebra import operators as ops
 from repro.algebra.printer import render_operator
+from repro.obs.instrument import Instrument
+from repro.obs.tokens import node_token
 
 
 class Profiler:
-    """Counts tuples produced per plan operator (by node identity)."""
+    """Counts tuples produced per plan operator (by stable node token)."""
 
-    def __init__(self):
-        self._counts = {}
+    def __init__(self, instrument=None):
+        self._instrument = instrument or Instrument()
+        # Strong-ref token table for nodes that cannot carry attributes;
+        # pinning the object keeps its id from being recycled.
+        self._fallback = {}
+
+    @property
+    def instrument(self):
+        """The :class:`Instrument` the counts live on."""
+        return self._instrument
+
+    def bind(self, instrument):
+        """Re-home the profiler onto ``instrument``.
+
+        Engines call this so a profiler passed by the caller and the
+        engine's own instrument are one bus; counts recorded so far are
+        carried over.
+        """
+        if instrument is self._instrument:
+            return
+        instrument.merge_node_counts(self._instrument.node_counts())
+        self._instrument = instrument
 
     def record(self, plan_node, amount=1):
-        key = id(plan_node)
-        self._counts[key] = self._counts.get(key, 0) + amount
+        self._instrument.record_node(
+            node_token(plan_node, self._fallback), amount
+        )
 
     def count_for(self, plan_node):
         """Tuples the operator produced (0 when it never ran)."""
-        return self._counts.get(id(plan_node), 0)
+        return self._instrument.node_count(
+            node_token(plan_node, self._fallback)
+        )
 
     def total(self):
-        return sum(self._counts.values())
+        return sum(self._instrument.node_counts().values())
 
     def reset(self):
-        self._counts.clear()
+        self._instrument.reset()
+        self._fallback.clear()
 
 
 def render_profile(plan, profiler):

@@ -32,13 +32,26 @@ class TableNode:
     subtree, including nested sets rendered as in Fig. 5).
     """
 
-    __slots__ = ("kind", "_payload", "_parent", "_index")
+    __slots__ = ("kind", "_payload", "_parent", "_index", "obs")
 
-    def __init__(self, kind, payload, parent=None, index=0):
+    def __init__(self, kind, payload, parent=None, index=0, obs=None):
         self.kind = kind
         self._payload = payload
         self._parent = parent
         self._index = index
+        self.obs = obs if obs is not None else (
+            parent.obs if parent is not None else None
+        )
+
+    def _command(self, name):
+        """Span of one Section-4 call arriving at this node (or a no-op)."""
+        if self.obs is None:
+            from repro.engine.vtree import _NULL_CONTEXT
+
+            return _NULL_CONTEXT
+        return self.obs.command_span(
+            name, kind="navigation", table_node=self.kind
+        )
 
     # -- fetches --------------------------------------------------------------
 
@@ -63,26 +76,29 @@ class TableNode:
 
     def d(self):
         """First child."""
-        children = self._child_source()
-        return children(0)
+        with self._command("d"):
+            children = self._child_source()
+            return children(0)
 
     def r(self):
         """Right sibling."""
-        if self._parent is None:
-            return None
-        siblings = self._parent._child_source()
-        return siblings(self._index + 1)
+        with self._command("r"):
+            if self._parent is None:
+                return None
+            siblings = self._parent._child_source()
+            return siblings(self._index + 1)
 
     def f(self, var):
         """``f(p, $V)``: the value node of a binding's variable."""
-        if self.kind != "binding":
-            raise NavigationError(
-                "f(p, $V) is defined on binding nodes only"
-            )
-        binding_tuple = self._payload
-        if not binding_tuple.has(var):
-            raise NavigationError("no binding for {}".format(var))
-        return TableNode("value", binding_tuple.get(var), self, 0)
+        with self._command("f"):
+            if self.kind != "binding":
+                raise NavigationError(
+                    "f(p, $V) is defined on binding nodes only"
+                )
+            binding_tuple = self._payload
+            if not binding_tuple.has(var):
+                raise NavigationError("no binding for {}".format(var))
+            return TableNode("value", binding_tuple.get(var), self, 0)
 
     # -- child production ----------------------------------------------------------
 
@@ -197,6 +213,12 @@ class OperatorTable:
         operators that are the input" — here the stream graph below is
         built, but no tuple is pulled yet.
         """
+        obs = getattr(self._engine, "obs", None)
+        if obs is not None:
+            with obs.command_span("getRoot", kind="navigation"):
+                if self._stream is None:
+                    self._stream = self._engine.stream(self._plan, self._env)
+                return TableNode("root", self._stream, obs=obs)
         if self._stream is None:
             self._stream = self._engine.stream(self._plan, self._env)
         return TableNode("root", self._stream)

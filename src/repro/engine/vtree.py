@@ -20,6 +20,20 @@ from __future__ import annotations
 from repro.errors import NavigationError
 from repro.xmltree.tree import Node
 from repro.algebra.values import Skolem
+from repro.stats import QDOM_COMMANDS
+
+
+class _NullContext:
+    """Stand-in span context for VNodes without an instrument."""
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
 
 
 class Provenance:
@@ -53,55 +67,76 @@ class VNode:
     lazy tail, and navigation forces exactly the prefix it visits.
     """
 
-    __slots__ = ("node", "parent", "index", "fixed", "is_root")
+    __slots__ = ("node", "parent", "index", "fixed", "is_root", "obs")
 
-    def __init__(self, node, parent=None, index=0, fixed=None, is_root=False):
+    def __init__(self, node, parent=None, index=0, fixed=None, is_root=False,
+                 obs=None):
         self.node = node
         self.parent = parent
         self.index = index
         self.fixed = dict(fixed or {})
         self.is_root = is_root
+        self.obs = obs
 
     # -- construction -------------------------------------------------------------
 
     @classmethod
-    def root(cls, node):
-        """Wrap a result root (the ``tD`` output)."""
-        return cls(node, is_root=True)
+    def root(cls, node, obs=None):
+        """Wrap a result root (the ``tD`` output).
+
+        ``obs`` is the :class:`~repro.obs.Instrument` navigation commands
+        report to; it is inherited by every VNode reached from here.
+        """
+        return cls(node, is_root=True, obs=obs)
 
     def _wrap_child(self, child, index):
         fixed = dict(self.fixed)
         if isinstance(child.oid, Skolem):
             fixed.update(child.oid.fixed_bindings())
-        return VNode(child, parent=self, index=index, fixed=fixed)
+        return VNode(
+            child, parent=self, index=index, fixed=fixed, obs=self.obs
+        )
+
+    def _command(self, name):
+        """The span of one QDOM command arriving at this node."""
+        if self.obs is None:
+            return _NULL_CONTEXT
+        self.obs.incr(QDOM_COMMANDS)
+        return self.obs.command_span(
+            name, kind="navigation", oid=str(self.node.oid)
+        )
 
     # -- the QDOM navigation commands (Section 2) -------------------------------------
 
     def down(self):
         """``d(p)``: the first child, or ``None`` on a leaf."""
-        child = self.node.child(0)
-        if child is None:
-            return None
-        return self._wrap_child(child, 0)
+        with self._command("d"):
+            child = self.node.child(0)
+            if child is None:
+                return None
+            return self._wrap_child(child, 0)
 
     def right(self):
         """``r(p)``: the right sibling, or ``None`` at the end."""
-        if self.parent is None:
-            return None
-        sibling = self.parent.node.child(self.index + 1)
-        if sibling is None:
-            return None
-        return self.parent._wrap_child(sibling, self.index + 1)
+        with self._command("r"):
+            if self.parent is None:
+                return None
+            sibling = self.parent.node.child(self.index + 1)
+            if sibling is None:
+                return None
+            return self.parent._wrap_child(sibling, self.index + 1)
 
     def label(self):
         """``fl(p)``: the node's label."""
-        return self.node.label
+        with self._command("fl"):
+            return self.node.label
 
     def value(self):
         """``fv(p)``: the leaf's value, or ``None`` on a non-leaf."""
-        if not self.node.is_leaf:
-            return None
-        return self.node.label
+        with self._command("fv"):
+            if not self.node.is_leaf:
+                return None
+            return self.node.label
 
     def children(self):
         """All children as VNodes (forces them — a test convenience, not

@@ -1,0 +1,104 @@
+"""``EXPLAIN ANALYZE`` for XMAS plans, over the instrumentation bus.
+
+:func:`render_explain` prints a plan in the paper's figure style with the
+per-node metrics an :class:`~repro.obs.instrument.Instrument` collected —
+tuples produced, cumulative wall time, and the exact SQL an ``rQ`` node
+ships.  :func:`explain_analyze` is the one-call version: translate,
+optimize, evaluate (driving the lazy engine with a full navigation walk),
+and render.
+
+Times are wall-clock and therefore unstable; ``mask_times=True`` omits
+them so the output is byte-identical across runs — that is what the
+golden-trace tests snapshot to catch silent pushdown regressions.
+"""
+
+from __future__ import annotations
+
+from repro.obs.instrument import Instrument
+from repro.obs.tokens import node_token
+
+
+def render_explain(plan, instrument=None, mask_times=False):
+    """The plan rendered with per-node tuple counts (and times).
+
+    Nodes that never ran under ``instrument`` show ``tuples=0``; with no
+    instrument at all the annotation is omitted entirely (plain
+    ``EXPLAIN`` without ``ANALYZE``).
+    """
+    lines = []
+    _render(plan, 0, lines, instrument, mask_times)
+    return "\n".join(lines)
+
+
+def _render(node, depth, lines, instrument, mask_times):
+    from repro.algebra import operators as ops
+    from repro.algebra.printer import render_operator
+
+    pad = "  " * depth
+    line = pad + render_operator(node)
+    if instrument is not None:
+        token = node_token(node)
+        line += "   [tuples={}".format(instrument.node_count(token))
+        if not mask_times:
+            line += " time={:.3f}ms".format(
+                instrument.node_elapsed(token) * 1e3
+            )
+        line += "]"
+    lines.append(line)
+    if isinstance(node, ops.RelQuery):
+        lines.append("{}    sql: {}".format(pad, node.sql))
+    if isinstance(node, ops.Apply):
+        lines.append(pad + "  p:")
+        _render(node.plan, depth + 2, lines, instrument, mask_times)
+    for child in node.children:
+        _render(child, depth + 1, lines, instrument, mask_times)
+
+
+def explain_analyze(mediator, query_text, mask_times=False):
+    """Run ``query_text`` through the mediator pipeline and explain it.
+
+    The plan goes through the mediator's own translate/optimize/push
+    stages, then is evaluated on a dedicated :class:`Instrument` (so the
+    numbers reflect exactly this query).  The lazy engine is driven by a
+    full navigation walk — the counts therefore show what a client
+    walking the whole result would cost.  Returns the rendered text.
+    """
+    text, __, __ = explain_analyze_with_trace(
+        mediator, query_text, mask_times=mask_times
+    )
+    return text
+
+
+def explain_analyze_with_trace(mediator, query_text, mask_times=False):
+    """Like :func:`explain_analyze` but returns ``(text, trace, plan)``.
+
+    ``trace`` is the root :class:`~repro.obs.span.Span` of the
+    evaluation, ready for :func:`repro.obs.export.trace_to_json`.
+    """
+    from repro.engine.eager import EagerEngine
+    from repro.engine.lazy import LazyEngine
+    from repro.engine.vtree import VNode, walk_fully
+
+    instrument = Instrument()
+    plan = mediator.translate(query_text)
+    plan = mediator._expand_views(plan)
+    exec_plan, __ = mediator.optimize_plan(plan)
+    with instrument.command_span(
+        "explain", kind="explain", query=_clip(query_text)
+    ):
+        if mediator.lazy:
+            engine = LazyEngine(mediator.catalog, stats=instrument)
+            root = engine.evaluate_tree(exec_plan)
+            walk_fully(VNode.root(root))
+        else:
+            engine = EagerEngine(mediator.catalog, stats=instrument)
+            engine.evaluate_tree(exec_plan)
+    text = render_explain(exec_plan, instrument, mask_times=mask_times)
+    footer = "-- tuples={} rq_statements={}".format(
+        instrument.get("operator_tuples"), instrument.get("rq_statements")
+    )
+    return text + "\n" + footer, instrument.last_trace(), exec_plan
+
+
+def _clip(text, limit=160):
+    return " ".join(str(text).split())[:limit]

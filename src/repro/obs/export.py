@@ -1,0 +1,56 @@
+"""JSON export of traces.
+
+A trace is a :class:`~repro.obs.span.Span` tree; export flattens nothing —
+the JSON mirrors the causal structure, so a consumer can walk from the
+root navigation command down to the operator spans and the SQL events
+exactly as the mediator produced them.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.span import Span
+
+
+def trace_to_dict(trace, mask_times=False):
+    """A JSON-serializable dict of ``trace``.
+
+    ``trace`` may be a :class:`Span` or an
+    :class:`~repro.obs.instrument.Instrument` (its last trace is used).
+    """
+    span = _as_span(trace)
+    if span is None:
+        return None
+    return span.to_dict(mask_times=mask_times)
+
+
+def trace_to_json(trace, mask_times=False, indent=2):
+    """``trace`` serialized as a JSON string (``"null"`` when empty)."""
+    return json.dumps(
+        trace_to_dict(trace, mask_times=mask_times),
+        indent=indent,
+        sort_keys=True,
+        default=str,
+    )
+
+
+def traces_to_json(instrument, mask_times=False, indent=2):
+    """Every recorded trace of ``instrument``, as one JSON array."""
+    return json.dumps(
+        [t.to_dict(mask_times=mask_times) for t in instrument.traces()],
+        indent=indent,
+        sort_keys=True,
+        default=str,
+    )
+
+
+def _as_span(trace):
+    if trace is None or isinstance(trace, Span):
+        return trace
+    last = getattr(trace, "last_trace", None)
+    if last is not None:
+        return last()
+    raise TypeError(
+        "expected a Span or an Instrument, got {!r}".format(trace)
+    )

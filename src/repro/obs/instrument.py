@@ -1,0 +1,213 @@
+"""The instrumentation bus: counters, timers, node metrics, and spans.
+
+One :class:`Instrument` replaces the seed's ``StatsRegistry``/``Profiler``
+pair.  Everything the stack wants to report goes through it:
+
+* **counters/timers** — the registry interface the sources, the
+  relational engine, and the benchmarks already speak (``incr``,
+  ``get``, ``snapshot``, ``diff``, ``timer``, ``elapsed``);
+* **node metrics** — per-plan-operator tuple counts and cumulative wall
+  time, keyed on stable :func:`~repro.obs.tokens.node_token`\\ s (the
+  ``EXPLAIN ANALYZE`` numbers);
+* **spans** — the causal trace: a *command span* (one per QDOM
+  navigation or query) is the root; *operator spans* (merged per plan
+  node) nest under whatever was running when the operator pulled; SQL
+  events land on the span that caused them.
+
+Counter increments made while a span is active are additionally
+attributed to that span, which is what lets a trace answer "which
+navigation command caused which source work".
+
+The registry surface is a strict superset of the seed ``StatsRegistry``,
+so ``repro.stats.StatsRegistry`` is now simply an alias of this class.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from contextlib import contextmanager
+
+from repro.obs.span import Span
+
+#: Root traces retained per instrument (older ones are evicted).
+TRACE_CAPACITY = 256
+
+
+class Instrument:
+    """A named bag of counters/timers plus a span-based tracer."""
+
+    def __init__(self, trace_capacity=TRACE_CAPACITY):
+        self._counters = {}
+        self._timers = {}
+        self._node_counts = {}
+        self._node_times = {}
+        self._stack = []
+        self._traces = deque(maxlen=trace_capacity)
+        self._span_ids = itertools.count(1)
+
+    # -- counters and timers (the StatsRegistry interface) ----------------------------
+
+    def incr(self, name, amount=1):
+        """Increase counter ``name`` by ``amount`` (default 1).
+
+        The increment is also attributed to the currently active span,
+        if any.
+        """
+        self._counters[name] = self._counters.get(name, 0) + amount
+        if self._stack:
+            self._stack[-1].bump(name, amount)
+
+    def get(self, name):
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def reset(self):
+        """Zero every counter, timer, node metric, and recorded trace."""
+        self._counters.clear()
+        self._timers.clear()
+        self._node_counts.clear()
+        self._node_times.clear()
+        del self._stack[:]
+        self._traces.clear()
+
+    @contextmanager
+    def timer(self, name):
+        """Context manager accumulating wall-clock seconds under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._timers[name] = self._timers.get(name, 0.0) + elapsed
+
+    def elapsed(self, name):
+        """Total seconds accumulated by :meth:`timer` under ``name``."""
+        return self._timers.get(name, 0.0)
+
+    def snapshot(self):
+        """An immutable copy of all counters (timers under ``time:<name>``)."""
+        merged = dict(self._counters)
+        for name, secs in self._timers.items():
+            merged["time:" + name] = secs
+        return merged
+
+    def diff(self, before):
+        """Counter deltas relative to an earlier :meth:`snapshot`."""
+        now = self.snapshot()
+        keys = set(now) | set(before)
+        return {k: now.get(k, 0) - before.get(k, 0) for k in keys}
+
+    # -- node metrics (the EXPLAIN ANALYZE numbers) -----------------------------------
+
+    def record_node(self, token, amount=1):
+        """Count ``amount`` tuples produced by the plan node ``token``."""
+        self._node_counts[token] = self._node_counts.get(token, 0) + amount
+
+    def node_count(self, token):
+        """Tuples the node produced so far (0 when it never ran)."""
+        return self._node_counts.get(token, 0)
+
+    def node_elapsed(self, token):
+        """Cumulative wall-clock seconds spent pulling from the node."""
+        return self._node_times.get(token, 0.0)
+
+    def node_counts(self):
+        """A copy of the full ``token -> tuples`` mapping."""
+        return dict(self._node_counts)
+
+    def merge_node_counts(self, counts):
+        """Fold an external ``token -> tuples`` mapping in (adapter use)."""
+        for token, amount in counts.items():
+            self.record_node(token, amount)
+
+    # -- spans ------------------------------------------------------------------------
+
+    @property
+    def current_span(self):
+        """The innermost active span, or ``None`` outside any trace."""
+        return self._stack[-1] if self._stack else None
+
+    def _fresh_span(self, name, kind, attrs):
+        return Span(
+            "s{}".format(next(self._span_ids)), name, kind, attrs
+        )
+
+    @contextmanager
+    def command_span(self, name, kind="navigation", **attrs):
+        """One span per occurrence — QDOM commands and query stages.
+
+        When no trace is active, the span becomes the root of a new
+        trace, recorded under :meth:`traces` on completion.
+        """
+        span = self._fresh_span(name, kind, attrs)
+        parent = self._stack[-1] if self._stack else None
+        if parent is not None:
+            parent.add_child(span)
+        self._stack.append(span)
+        span.calls += 1
+        start = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.elapsed += time.perf_counter() - start
+            self._stack.pop()
+            if parent is None:
+                self._traces.append(span)
+
+    @contextmanager
+    def operator_span(self, name, key=None, kind="operator", **attrs):
+        """A merged child span under the current span.
+
+        Repeated entries with the same ``key`` (under the same parent)
+        accumulate into a single span — a lazy operator pulled 40 times
+        by one navigation is one span with ``calls=40``.  Node wall time
+        is accumulated under ``key`` whether or not a trace is active;
+        span bookkeeping happens only inside an active trace.
+        """
+        parent = self._stack[-1] if self._stack else None
+        span = None
+        if parent is not None:
+            span = parent.merged_child(
+                key or name, lambda: self._fresh_span(name, kind, attrs)
+            )
+            self._stack.append(span)
+            span.calls += 1
+        start = time.perf_counter()
+        try:
+            yield span
+        finally:
+            elapsed = time.perf_counter() - start
+            if key is not None:
+                self._node_times[key] = (
+                    self._node_times.get(key, 0.0) + elapsed
+                )
+            if span is not None:
+                span.elapsed += elapsed
+                self._stack.pop()
+
+    def event(self, name, detail=None, **attrs):
+        """Record a point event on the active span (no-op outside one)."""
+        if self._stack:
+            self._stack[-1].add_event(name, detail, attrs)
+
+    # -- trace access -----------------------------------------------------------------
+
+    def traces(self):
+        """Completed root spans, oldest first (bounded ring)."""
+        return list(self._traces)
+
+    def last_trace(self):
+        """The most recently completed root span, or ``None``."""
+        return self._traces[-1] if self._traces else None
+
+    def clear_traces(self):
+        """Drop recorded traces, keeping counters and node metrics."""
+        self._traces.clear()
+
+    def __repr__(self):
+        parts = ", ".join(
+            "{}={}".format(k, v) for k, v in sorted(self.snapshot().items())
+        )
+        return "Instrument({})".format(parts)

@@ -95,6 +95,14 @@ class QdomNode:
         """The decoded Section-5 payload of this node's id."""
         return self._vnode.provenance()
 
+    def last_trace(self):
+        """The trace of the most recent command on this node's mediator.
+
+        Each navigation command (``d``/``r``/``fl``/``fv``) completes one
+        trace; the returned :class:`~repro.obs.Span` links the command to
+        the lazy-operator work (and SQL) it caused."""
+        return self._mediator.obs.last_trace()
+
     @property
     def vnode(self):
         return self._vnode

@@ -21,9 +21,9 @@ from repro.engine.lazy import LazyEngine
 from repro.engine.eager import EagerEngine
 from repro.engine.vtree import VNode
 from repro.qdom.api import QdomNode
+from repro.obs import Instrument, explain_analyze, explain_analyze_with_trace
 from repro.rewriter import Rewriter, push_to_sources
 from repro.sources.catalog import SourceCatalog
-from repro.stats import StatsRegistry
 from repro.xquery.parser import parse_xquery
 
 
@@ -46,7 +46,8 @@ class Mediator:
     def __init__(self, catalog=None, stats=None, optimize=True,
                  push_sql=True, lazy=True, dedup_groups=False):
         self.catalog = catalog or SourceCatalog()
-        self.stats = stats or StatsRegistry()
+        self.stats = stats or Instrument()
+        self.obs = self.stats
         self.optimize = optimize
         self.push_sql = push_sql
         self.lazy = lazy
@@ -120,9 +121,12 @@ class Mediator:
 
         Returns the root :class:`QdomNode` of the (virtual) answer.
         """
-        plan = self.translate(query_text)
-        plan = self._expand_views(plan)
-        return self._run(plan)
+        with self.obs.command_span(
+            "query", kind="query", query=_clip_query(query_text)
+        ):
+            plan = self.translate(query_text)
+            plan = self._expand_views(plan)
+            return self._run(plan)
 
     def query_from(self, qdom_node, query_text):
         """Run an XQuery whose ``document(root)`` is ``qdom_node``.
@@ -136,15 +140,20 @@ class Mediator:
             raise CompositionError(
                 "this node does not belong to a mediator view"
             )
-        query_plan = self.translate(query_text, assign_root=False)
-        query_plan = self._expand_views(query_plan)
-        vnode = qdom_node.vnode
-        if vnode.is_root:
-            composed = compose_at_root(view_plan, query_plan)
-        else:
-            provenance = vnode.require_query_root()
-            composed = decontextualize(view_plan, provenance, query_plan)
-        return self._run(composed)
+        with self.obs.command_span(
+            "q", kind="query",
+            query=_clip_query(query_text),
+            oid=str(qdom_node.oid),
+        ):
+            query_plan = self.translate(query_text, assign_root=False)
+            query_plan = self._expand_views(query_plan)
+            vnode = qdom_node.vnode
+            if vnode.is_root:
+                composed = compose_at_root(view_plan, query_plan)
+            else:
+                provenance = vnode.require_query_root()
+                composed = decontextualize(view_plan, provenance, query_plan)
+            return self._run(composed)
 
     # -- pipeline stages ----------------------------------------------------------------
 
@@ -158,7 +167,8 @@ class Mediator:
         root_oid = (
             "view{}".format(next(self._view_ids)) if assign_root else None
         )
-        plan = self._translator.translate(query, root_oid=root_oid)
+        with self.obs.timer("translate"):
+            plan = self._translator.translate(query, root_oid=root_oid)
         validate_plan(plan)
         return plan
 
@@ -171,10 +181,12 @@ class Mediator:
         combined with new conditions and re-pushed.
         """
         if self.optimize:
-            plan = self._rewriter.rewrite(plan, trace=trace)
+            with self.obs.timer("rewrite"):
+                plan = self._rewriter.rewrite(plan, trace=trace)
         compose_plan = plan
         if self.push_sql:
-            plan = push_to_sources(plan, self.catalog)
+            with self.obs.timer("push_sql"):
+                plan = push_to_sources(plan, self.catalog)
         return plan, compose_plan
 
     def _run(self, plan):
@@ -185,7 +197,29 @@ class Mediator:
         else:
             engine = EagerEngine(self.catalog, stats=self.stats)
             root = engine.evaluate_tree(exec_plan)
-        return QdomNode(self, VNode.root(root), compose_plan)
+        return QdomNode(self, VNode.root(root, obs=self.obs), compose_plan)
+
+    # -- observability ---------------------------------------------------------------
+
+    def explain(self, query_text, mask_times=False):
+        """``EXPLAIN ANALYZE`` for ``query_text``: run the full pipeline
+        on a dedicated instrument and return the annotated plan text."""
+        return explain_analyze(self, query_text, mask_times=mask_times)
+
+    def explain_with_trace(self, query_text, mask_times=False):
+        """Like :meth:`explain`, also returning ``(text, trace, plan)``."""
+        return explain_analyze_with_trace(
+            self, query_text, mask_times=mask_times
+        )
+
+    def last_trace(self):
+        """The most recent completed trace on this mediator's bus."""
+        return self.obs.last_trace()
 
     def __repr__(self):
         return "Mediator(docs={})".format(self.catalog.document_ids())
+
+
+def _clip_query(query_text, limit=160):
+    """Whitespace-normalised query text, clipped for span attributes."""
+    return " ".join(str(query_text).split())[:limit]

@@ -15,7 +15,7 @@ that substrate:
   asks for are never computed (:mod:`repro.relational.cursor`).
 
 Every row that crosses a cursor is counted in the database's
-:class:`~repro.stats.StatsRegistry`, which is what the paper's
+:class:`~repro.obs.Instrument`, which is what the paper's
 "minimum amount of data transferred between the mediator and the
 sources" claims are measured against.
 """

@@ -10,7 +10,7 @@ from repro.relational.executor import compare, execute_select
 from repro.relational.parser import parse_sql
 from repro.relational.schema import Column, TableSchema
 from repro.relational.table import Table
-from repro.stats import StatsRegistry
+from repro.obs.instrument import Instrument
 
 
 class Database:
@@ -28,7 +28,7 @@ class Database:
 
     def __init__(self, name="db", stats=None):
         self.name = name
-        self.stats = stats or StatsRegistry()
+        self.stats = stats or Instrument()
         self._tables = {}
 
     # -- schema ---------------------------------------------------------------
@@ -75,7 +75,8 @@ class Database:
         if not isinstance(stmt, ast.SelectStmt):
             raise SqlError("execute() is for SELECT; use run() for DDL/DML")
         self.stats.incr(statnames.SQL_QUERIES)
-        names, rows = execute_select(self, stmt)
+        self.stats.event("sql", sql, database=self.name)
+        names, rows = execute_select(self, stmt, obs=self.stats)
         return Cursor(names, rows, stats=self.stats)
 
     def run(self, sql):

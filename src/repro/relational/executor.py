@@ -150,8 +150,13 @@ class _ResolvedPredicate:
         return None
 
 
-def execute_select(database, stmt):
-    """Evaluate a SELECT; returns ``(column_names, row_generator)``."""
+def execute_select(database, stmt, obs=None):
+    """Evaluate a SELECT; returns ``(column_names, row_generator)``.
+
+    With ``obs`` (an :class:`repro.obs.Instrument`), each produced row is
+    counted under a per-table-set counter and attributed to whichever
+    navigation span is active when the cursor pulls it.
+    """
     binding = _Binding(database, stmt.tables)
     predicates = [_ResolvedPredicate(binding, p) for p in stmt.predicates]
     rows = _join_pipeline(binding, predicates)
@@ -162,7 +167,19 @@ def execute_select(database, stmt):
     projected = (tuple(row[p] for p in positions) for row in rows)
     if stmt.distinct:
         projected = _distinct_stream(projected)
+    if obs is not None:
+        projected = _attributed_rows(projected, obs, stmt)
     return names, projected
+
+
+def _attributed_rows(rows, obs, stmt):
+    """Count rows out of one statement's pipeline, at fetch time."""
+    counter = "rows_out:" + ",".join(
+        sorted({ref.table for ref in stmt.tables})
+    )
+    for row in rows:
+        obs.incr(counter)
+        yield row
 
 
 def _distinct_stream(rows):

@@ -65,12 +65,27 @@ class MediatorSource(Source):
 
     def iter_document_children(self, doc_id):
         """Navigate the lower view with d/r commands, one child at a time."""
-        node = self._root(doc_id).d()
+        stats = self._stats
+        span_key = "medsrc:{}".format(doc_id)
+
+        def pull(move):
+            # Each lower-mediator navigation that lands on a node is one
+            # forwarded command; the span ties it to the upper command
+            # that demanded it.
+            if stats is None:
+                return move()
+            with stats.operator_span(
+                "medsrc({})".format(doc_id), key=span_key, kind="source"
+            ):
+                node = move()
+                if node is not None:
+                    stats.incr(statnames.SOURCE_NAVIGATIONS)
+                return node
+
+        node = pull(lambda: self._root(doc_id).d())
         while node is not None:
-            if self._stats is not None:
-                self._stats.incr(statnames.SOURCE_NAVIGATIONS)
             yield _qdom_to_node(node)
-            node = node.r()
+            node = pull(node.r)
 
     def materialize_document(self, doc_id):
         root = Node("&{}".format(doc_id), "list")

@@ -72,11 +72,32 @@ class RelationalWrapper(Source):
         """Row-at-a-time iterator of tuple objects (cursor driven)."""
         table_name, label = self._doc_entry(doc_id)
         table = self.database.table(table_name)
-        cursor = self.database.execute("SELECT * FROM {}".format(table_name))
         stats = self.database.stats
-        for row in cursor:
-            stats.incr(statnames.SOURCE_NAVIGATIONS)
-            yield self.row_to_element(table.schema, row, label=label)
+        span_name = "wrap({})".format(doc_id)
+        span_key = "wrap:{}:{}".format(self.server_name, doc_id)
+        with self._span(stats, span_name, span_key, table_name):
+            cursor = self.database.execute(
+                "SELECT * FROM {}".format(table_name)
+            )
+        rows = iter(cursor)
+        while True:
+            # Each row pull is one source navigation; the span attributes
+            # it (and the cursor work underneath) to the QDOM command
+            # that demanded the row.
+            with self._span(stats, span_name, span_key, table_name):
+                try:
+                    row = next(rows)
+                except StopIteration:
+                    return
+                stats.incr(statnames.SOURCE_NAVIGATIONS)
+                element = self.row_to_element(table.schema, row, label=label)
+            yield element
+
+    @staticmethod
+    def _span(stats, name, key, table_name):
+        return stats.operator_span(
+            name, key=key, kind="source", table=table_name
+        )
 
     def materialize_document(self, doc_id):
         """The whole document at once (eager baseline)."""

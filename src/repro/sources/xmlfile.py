@@ -53,6 +53,7 @@ class XmlFileSource(Source):
             raise SourceError("no document {!r}".format(doc_id))
         if self._stats is not None:
             self._stats.incr(DOC_FETCHES)
+            self._stats.event("doc_fetch", doc_id)
         tree = parse_xml(self._texts[doc_id])
         self._trees[doc_id] = tree  # one-step fetch, then cached
         return tree

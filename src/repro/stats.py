@@ -3,12 +3,18 @@
 The paper's claims are about *how much work reaches the sources*: how many
 SQL queries are issued, how many tuples cross the wrapper boundary, and how
 much the mediator materializes.  Every experiment in ``benchmarks/`` reads
-these counters, so they live in one small registry that the relational
-engine, the wrappers, and the lazy engine all share.
+these counters.
+
+Since the observability refactor the registry is
+:class:`repro.obs.Instrument` — a strict superset of the old
+``StatsRegistry`` that additionally records per-operator node metrics and
+span-based navigation traces.  ``StatsRegistry`` remains as a
+backwards-compatible alias; new code should import
+:class:`~repro.obs.Instrument` directly.
 
 Usage::
 
-    stats = StatsRegistry()
+    stats = StatsRegistry()          # == repro.obs.Instrument()
     stats.incr("sql_queries")
     stats.incr("tuples_shipped", 42)
     with stats.timer("rewrite"):
@@ -18,63 +24,9 @@ Usage::
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
+from repro.obs.instrument import Instrument as StatsRegistry
 
-
-class StatsRegistry:
-    """A named bag of monotonically increasing counters and timers."""
-
-    def __init__(self):
-        self._counters = {}
-        self._timers = {}
-
-    def incr(self, name, amount=1):
-        """Increase counter ``name`` by ``amount`` (default 1)."""
-        self._counters[name] = self._counters.get(name, 0) + amount
-
-    def get(self, name):
-        """Current value of counter ``name`` (0 if never incremented)."""
-        return self._counters.get(name, 0)
-
-    def reset(self):
-        """Zero every counter and timer."""
-        self._counters.clear()
-        self._timers.clear()
-
-    @contextmanager
-    def timer(self, name):
-        """Context manager accumulating wall-clock seconds under ``name``."""
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            self._timers[name] = self._timers.get(name, 0.0) + elapsed
-
-    def elapsed(self, name):
-        """Total seconds accumulated by :meth:`timer` under ``name``."""
-        return self._timers.get(name, 0.0)
-
-    def snapshot(self):
-        """An immutable copy of all counters (timers under ``time:<name>``)."""
-        merged = dict(self._counters)
-        for name, secs in self._timers.items():
-            merged["time:" + name] = secs
-        return merged
-
-    def diff(self, before):
-        """Counter deltas relative to an earlier :meth:`snapshot`."""
-        now = self.snapshot()
-        keys = set(now) | set(before)
-        return {k: now.get(k, 0) - before.get(k, 0) for k in keys}
-
-    def __repr__(self):
-        parts = ", ".join(
-            "{}={}".format(k, v) for k, v in sorted(self.snapshot().items())
-        )
-        return "StatsRegistry({})".format(parts)
-
+__all__ = ["StatsRegistry"]
 
 #: Counter names used across the library, centralised so experiments and
 #: sources agree on spelling.
@@ -86,3 +38,5 @@ OPERATOR_TUPLES = "operator_tuples"    # tuples produced by mediator operators
 ELEMENTS_BUILT = "elements_built"      # XML elements constructed (crElt)
 BUFFERED_TUPLES = "buffered_tuples"    # peak tuples buffered by stateful ops
 INDEX_LOOKUPS = "index_lookups"        # secondary-index probes in the DB
+RQ_STATEMENTS = "rq_statements"        # SQL pushed by rQ plan operators
+QDOM_COMMANDS = "qdom_commands"        # navigation commands entering the mediator

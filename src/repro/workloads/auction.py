@@ -10,7 +10,7 @@ import random
 
 from repro.relational import Database
 from repro.sources import RelationalWrapper
-from repro.stats import StatsRegistry
+from repro.obs import Instrument
 from repro.workloads.customers import BuiltWorkload
 
 RATINGS = ("low", "medium", "high")
@@ -40,7 +40,7 @@ def build_auction(spec=None, stats=None, **spec_kwargs):
     """Generate an auction catalog; documents ``cameras`` and ``lenses``."""
     if spec is None:
         spec = AuctionSpec(**spec_kwargs)
-    stats = stats or StatsRegistry()
+    stats = stats or Instrument()
     rng = random.Random(spec.seed)
     db = Database("auction", stats=stats)
     db.run(

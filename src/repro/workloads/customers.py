@@ -22,7 +22,7 @@ import random
 from repro.errors import MixError
 from repro.relational import Database
 from repro.sources import RelationalWrapper
-from repro.stats import StatsRegistry
+from repro.obs import Instrument
 
 _VALUE_MODES = ("ladder", "tiered", "uniform")
 
@@ -91,7 +91,7 @@ def build_customers_orders(spec=None, stats=None, **spec_kwargs):
         spec = CustomersOrdersSpec(**spec_kwargs)
     elif spec_kwargs:
         raise MixError("pass either a spec or keyword knobs, not both")
-    stats = stats or StatsRegistry()
+    stats = stats or Instrument()
     rng = random.Random(spec.seed)
     db = Database("customers_orders", stats=stats)
     db.run(

@@ -23,11 +23,27 @@ from repro.xquery import ast
 _RELOPS = ("<=", ">=", "!=", "<>", "=", "<", ">")
 _KEYWORDS = {"FOR", "IN", "WHERE", "AND", "RETURN"}
 
+#: Nesting bound for elements/sub-queries.  The grammar is recursive, so
+#: without a bound adversarial input (``"<a>" * 10000``) overflows the
+#: Python stack with a raw RecursionError instead of a parse error.
+_MAX_DEPTH = 100
+
 
 class _Scanner:
     def __init__(self, text):
         self.text = _strip_comments(text)
         self.pos = 0
+        self.depth = 0
+
+    def enter(self):
+        self.depth += 1
+        if self.depth > _MAX_DEPTH:
+            raise self.error(
+                "query nesting exceeds {} levels".format(_MAX_DEPTH)
+            )
+
+    def leave(self):
+        self.depth -= 1
 
     # -- primitives -------------------------------------------------------------
 
@@ -127,22 +143,26 @@ def parse_xquery(text):
 
 
 def _parse_query(scanner):
-    scanner.expect_keyword("FOR")
-    bindings = [_parse_for_binding(scanner)]
-    while True:
-        scanner.accept_text(",")
-        if scanner.peek_char() == "$":
-            bindings.append(_parse_for_binding(scanner))
-        else:
-            break
-    conditions = []
-    if scanner.accept_keyword("WHERE"):
-        conditions.append(_parse_condition(scanner))
-        while scanner.accept_keyword("AND"):
+    scanner.enter()
+    try:
+        scanner.expect_keyword("FOR")
+        bindings = [_parse_for_binding(scanner)]
+        while True:
+            scanner.accept_text(",")
+            if scanner.peek_char() == "$":
+                bindings.append(_parse_for_binding(scanner))
+            else:
+                break
+        conditions = []
+        if scanner.accept_keyword("WHERE"):
             conditions.append(_parse_condition(scanner))
-    scanner.expect_keyword("RETURN")
-    ret = _parse_element(scanner)
-    return ast.QueryExpr(bindings, conditions, ret)
+            while scanner.accept_keyword("AND"):
+                conditions.append(_parse_condition(scanner))
+        scanner.expect_keyword("RETURN")
+        ret = _parse_element(scanner)
+        return ast.QueryExpr(bindings, conditions, ret)
+    finally:
+        scanner.leave()
 
 
 def _parse_for_binding(scanner):
@@ -224,6 +244,8 @@ def _parse_condition_operand(scanner):
 def _parse_number(scanner):
     scanner.skip_ws()
     start = scanner.pos
+    if scanner.pos >= len(scanner.text):
+        raise scanner.error("expected a number")
     if scanner.text[scanner.pos] in "+-":
         scanner.pos += 1
     saw_dot = False
@@ -237,9 +259,10 @@ def _parse_number(scanner):
         else:
             break
     literal = scanner.text[start : scanner.pos]
-    if literal in ("+", "-", ""):
+    try:
+        return float(literal) if saw_dot else int(literal)
+    except ValueError:  # "+", "-", "+.", "-." or empty
         raise scanner.error("expected a number")
-    return float(literal) if saw_dot else int(literal)
 
 
 def _parse_element(scanner):
@@ -247,6 +270,14 @@ def _parse_element(scanner):
     var = scanner.accept_variable()
     if var is not None:
         return ast.VarRef(var)
+    scanner.enter()
+    try:
+        return _parse_tagged_element(scanner)
+    finally:
+        scanner.leave()
+
+
+def _parse_tagged_element(scanner):
     scanner.expect_text("<")
     label = scanner.parse_name()
     scanner.expect_text(">")

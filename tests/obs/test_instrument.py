@@ -1,0 +1,207 @@
+"""Unit tests of the instrumentation bus: counters, spans, node tokens."""
+
+from __future__ import annotations
+
+import gc
+import json
+
+from repro.obs import (
+    Instrument,
+    node_token,
+    peek_token,
+    trace_to_dict,
+    trace_to_json,
+)
+from repro.engine.profile import Profiler
+
+
+class _FakeOp:
+    opname = "fakeOp"
+
+
+# -- counters: the StatsRegistry contract is preserved -----------------------------
+
+
+def test_counter_interface_matches_registry():
+    inst = Instrument()
+    inst.incr("abc")
+    inst.incr("abc", 2)
+    assert inst.get("abc") == 3
+    assert inst.get("never") == 0
+    snap = inst.snapshot()
+    inst.incr("abc")
+    assert snap["abc"] == 3  # snapshot is a copy
+    assert inst.diff(snap) == {"abc": 1}
+    assert "abc=4" in repr(inst)
+    inst.reset()
+    assert inst.get("abc") == 0
+
+
+def test_timer_lands_in_snapshot_under_time_prefix():
+    inst = Instrument()
+    with inst.timer("t"):
+        pass
+    assert inst.elapsed("t") >= 0.0
+    assert "time:t" in inst.snapshot()
+
+
+# -- spans -------------------------------------------------------------------------
+
+
+def test_command_span_records_a_trace():
+    inst = Instrument()
+    with inst.command_span("d", oid="&X") as span:
+        assert inst.current_span is span
+    trace = inst.last_trace()
+    assert trace is span
+    assert trace.name == "d"
+    assert trace.kind == "navigation"
+    assert trace.attributes["oid"] == "&X"
+    assert trace.calls == 1
+    assert trace.elapsed >= 0.0
+
+
+def test_nested_command_spans_form_a_tree():
+    inst = Instrument()
+    with inst.command_span("outer"):
+        with inst.command_span("inner"):
+            pass
+    trace = inst.last_trace()
+    assert trace.name == "outer"
+    assert [c.name for c in trace.children] == ["inner"]
+    assert len(inst.traces()) == 1  # inner is not a root trace
+
+
+def test_counter_increment_is_attributed_to_active_span():
+    inst = Instrument()
+    inst.incr("outside")
+    with inst.command_span("d"):
+        inst.incr("inside", 2)
+    trace = inst.last_trace()
+    assert trace.counters == {"inside": 2}
+    assert inst.get("outside") == 1
+    assert inst.get("inside") == 2  # global count still maintained
+
+
+def test_operator_spans_merge_by_key():
+    inst = Instrument()
+    with inst.command_span("d"):
+        for __ in range(5):
+            with inst.operator_span("join", key="join#1"):
+                inst.incr("operator_tuples")
+    trace = inst.last_trace()
+    assert len(trace.children) == 1
+    joined = trace.children[0]
+    assert joined.name == "join"
+    assert joined.calls == 5
+    assert joined.counters == {"operator_tuples": 5}
+
+
+def test_operator_span_outside_trace_still_accumulates_node_time():
+    inst = Instrument()
+    with inst.operator_span("join", key="join#1") as span:
+        assert span is None  # no active trace -> no span bookkeeping
+    assert inst.last_trace() is None
+    assert inst.node_elapsed("join#1") >= 0.0
+
+
+def test_events_collect_on_the_active_span():
+    inst = Instrument()
+    inst.event("ignored", "no active span")
+    with inst.command_span("d"):
+        inst.event("sql", "SELECT 1", server="s")
+    trace = inst.last_trace()
+    assert [name for name, __, __ in trace.events] == ["sql"]
+    assert trace.events[0][1] == "SELECT 1"
+    assert trace.events[0][2] == {"server": "s"}
+    assert trace.sql_statements() == ["SELECT 1"]
+
+
+def test_trace_ring_is_bounded():
+    inst = Instrument(trace_capacity=3)
+    for i in range(5):
+        with inst.command_span("d", seq=i):
+            pass
+    kept = [t.attributes["seq"] for t in inst.traces()]
+    assert kept == [2, 3, 4]
+
+
+def test_trace_export_round_trips_through_json():
+    inst = Instrument()
+    with inst.command_span("d", oid="&X"):
+        with inst.operator_span("rQ", key="rQ#1", sql="SELECT 1"):
+            inst.incr("operator_tuples")
+        inst.event("sql", "SELECT 1")
+    payload = trace_to_dict(inst.last_trace())
+    decoded = json.loads(trace_to_json(inst))
+    assert decoded == json.loads(json.dumps(payload, default=str))
+    assert decoded["name"] == "d"
+    assert decoded["children"][0]["attributes"]["sql"] == "SELECT 1"
+    masked = trace_to_dict(inst.last_trace(), mask_times=True)
+    assert masked["elapsed_ms"] is None
+
+
+# -- node metrics and stable tokens -------------------------------------------------
+
+
+def test_record_node_accumulates_per_token():
+    inst = Instrument()
+    inst.record_node("join#1")
+    inst.record_node("join#1", 4)
+    assert inst.node_count("join#1") == 5
+    assert inst.node_count("other") == 0
+    assert inst.node_counts() == {"join#1": 5}
+
+
+def test_node_token_is_stamped_and_stable():
+    op = _FakeOp()
+    token = node_token(op)
+    assert token.startswith("fakeOp#")
+    assert node_token(op) == token
+    assert peek_token(op) == token
+    assert peek_token(_FakeOp()) is None
+
+
+def test_tokens_survive_id_reuse_after_gc():
+    """The seed bug: Profiler keyed on id(node); CPython reuses ids after
+    GC, so counts of dead plans could alias onto new ones.  Tokens are
+    minted from a process-unique counter, so every distinct node object
+    observed over time gets a distinct key."""
+    seen = set()
+    for __ in range(100):
+        op = _FakeOp()
+        seen.add(node_token(op))
+        del op
+        gc.collect()
+    assert len(seen) == 100
+
+
+def test_profiler_counts_do_not_alias_across_gc():
+    profiler = Profiler()
+    for __ in range(50):
+        op = _FakeOp()
+        profiler.record(op, 1)
+        del op
+        gc.collect()
+    fresh = _FakeOp()
+    assert profiler.count_for(fresh) == 0  # never aliased onto a dead op
+    assert profiler.total() == 50
+
+
+def test_profiler_fallback_handles_slotted_objects():
+    profiler = Profiler()
+    anon = object()  # no __dict__: attribute stamping impossible
+    profiler.record(anon, 5)
+    assert profiler.count_for(anon) == 5
+    other = object()
+    assert profiler.count_for(other) == 0
+
+
+def test_profiler_bind_carries_counts_onto_engine_bus():
+    profiler = Profiler()
+    op = _FakeOp()
+    profiler.record(op, 3)
+    inst = Instrument()
+    profiler.bind(inst)
+    assert profiler.count_for(op) == 3
+    assert inst.node_count(node_token(op)) == 3

@@ -1,0 +1,107 @@
+"""Fuzz and edge-case tests: the parser fails closed.
+
+Whatever the input — malformed group-by lists, truncated conditions,
+adversarially deep nesting, or random bytes — ``parse_xquery`` must
+either succeed or raise a :class:`repro.errors.MixError` subtype.  Raw
+``IndexError``/``ValueError``/``RecursionError`` escaping the parser is
+a bug (and each case below was one, or guards against one).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MixError, XQueryParseError
+from repro.xquery.parser import parse_xquery
+
+PREFIX = "FOR $a IN document(d)/x "
+
+
+MALFORMED = [
+    # group-by lists
+    PREFIX + "RETURN <r> $a </r> {}",
+    PREFIX + "RETURN <r> $a </r> {$a,}",
+    PREFIX + "RETURN <r> $a </r> {,}",
+    PREFIX + "RETURN <r> $a </r> {$a",
+    PREFIX + "RETURN <r> $a </r> {$}",
+    # truncated / malformed conditions (EOF inside a number was a raw
+    # IndexError; "+." was a raw ValueError)
+    PREFIX + "WHERE $a/v = ",
+    PREFIX + "WHERE $a/v = +",
+    PREFIX + "WHERE $a/v = +. RETURN $a",
+    PREFIX + "WHERE $a/v = -. RETURN $a",
+    PREFIX + "WHERE ",
+    PREFIX + 'WHERE $a/v = "unterminated RETURN $a',
+    # unterminated paths and structure
+    "FOR $a IN document(d) RETURN $a",
+    "FOR $a IN document( RETURN $a",
+    "FOR $a IN ",
+    "FOR $a",
+    PREFIX + "RETURN <r> $a ",
+    PREFIX + "RETURN <r> $a </s>",
+    PREFIX + "RETURN",
+    "",
+    "RETURN $a",
+    "<a></a>",
+]
+
+
+@pytest.mark.parametrize("text", MALFORMED)
+def test_malformed_queries_raise_parse_errors(text):
+    with pytest.raises(XQueryParseError):
+        parse_xquery(text)
+
+
+def test_deep_element_nesting_is_a_parse_error_not_a_crash():
+    deep = PREFIX + "RETURN " + "<a> " * 5000 + "$a " + "</a> " * 5000
+    with pytest.raises(XQueryParseError) as err:
+        parse_xquery(deep)
+    assert "nesting" in str(err.value)
+
+
+def test_deep_query_nesting_is_a_parse_error_not_a_crash():
+    deep = (PREFIX + "RETURN <r> ") * 400 + "$a"
+    with pytest.raises(XQueryParseError) as err:
+        parse_xquery(deep)
+    assert "nesting" in str(err.value)
+
+
+def test_nesting_below_the_bound_still_parses():
+    depth = 40
+    text = (
+        PREFIX
+        + "RETURN "
+        + "<a> " * depth
+        + "$a "
+        + "</a> " * depth
+    )
+    query = parse_xquery(text)
+    assert query.ret.label == "a"
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=200, deadline=None)
+def test_random_text_never_escapes_the_error_hierarchy(text):
+    try:
+        parse_xquery(text)
+    except MixError:
+        pass  # failing closed is the contract
+
+
+@given(
+    st.lists(
+        st.sampled_from(
+            ["FOR", "$a", "IN", "document(d)/x", "WHERE", "RETURN",
+             "<r>", "</r>", "{", "}", "$a/v", "=", "<", "5", "+", ".",
+             '"s"', ",", "data()", "*", "/"]
+        ),
+        max_size=25,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_token_soup_never_escapes_the_error_hierarchy(tokens):
+    try:
+        parse_xquery(" ".join(tokens))
+    except MixError:
+        pass
