@@ -1,0 +1,92 @@
+"""E-RESIL: the fault-tolerance decorator must be (near) free.
+
+``ResilientSource`` sits on *every* pull when navigation reaches a
+wrapped source, so its healthy-path cost matters: the guard here walks
+the Fig. 22 workload (the running-example view, full navigation) over
+the plain wrapper and over the same wrapper behind the full policy
+stack (retry + timeout + breaker, no faults injected) and asserts the
+decorator costs < 5% wall time.
+
+SQL push-down is disabled so the engines actually pull element by
+element through the decorator — the worst case for per-pull overhead.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import Instrument, Mediator
+from repro.resilience import (
+    CircuitBreaker,
+    ManualClock,
+    ResilientSource,
+    RetryPolicy,
+    Timeout,
+)
+
+from benchmarks.conftest import VIEW_QUERY, build_workload, print_series
+
+N_CUSTOMERS = 200
+ORDERS_PER = 6
+REPEATS = 7
+OVERHEAD_BUDGET = 0.05
+
+
+def wrap_resilient(wrapper):
+    clock = ManualClock()
+    return ResilientSource(
+        wrapper,
+        retry=RetryPolicy(attempts=3, base_delay=0.05, sleep=clock.sleep),
+        timeout=Timeout(5.0, clock=clock),
+        breaker=CircuitBreaker(failure_threshold=5, cooldown=30.0,
+                               clock=clock),
+    )
+
+
+def walk_time(wrap):
+    """Best-of-N wall time for a full walk of the Fig. 22 view."""
+    best = None
+    for __ in range(REPEATS):
+        __, wrapper = build_workload(N_CUSTOMERS, ORDERS_PER)
+        source = wrap(wrapper)
+        mediator = Mediator(
+            stats=Instrument(), push_sql=False
+        ).add_source(source)
+        start = time.perf_counter()
+        mediator.query(VIEW_QUERY).to_tree()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def test_resilient_source_overhead_under_budget():
+    plain = walk_time(lambda wrapper: wrapper)
+    resilient = walk_time(wrap_resilient)
+    overhead = resilient / plain - 1.0
+    print_series(
+        "E-RESIL: full-walk wall time, plain vs ResilientSource "
+        "({} customers x {} orders)".format(N_CUSTOMERS, ORDERS_PER),
+        ("variant", "best-of-{} (s)".format(REPEATS), "overhead"),
+        [
+            ("plain", round(plain, 4), "-"),
+            ("resilient", round(resilient, 4),
+             "{:+.1%}".format(overhead)),
+        ],
+    )
+    assert overhead < OVERHEAD_BUDGET, (
+        "ResilientSource healthy-path overhead {:.1%} exceeds "
+        "{:.0%}".format(overhead, OVERHEAD_BUDGET)
+    )
+
+
+def test_resilient_walk_is_fault_free_and_counted_free():
+    __, wrapper = build_workload(50, 4)
+    source = wrap_resilient(wrapper)
+    mediator = Mediator(
+        stats=Instrument(), push_sql=False
+    ).add_source(source)
+    mediator.query(VIEW_QUERY).to_tree()
+    health = source.resilience_health()
+    assert health["retries"] == 0
+    assert health["failures"] == 0
+    assert health["breaker"] == "closed"

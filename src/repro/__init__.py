@@ -20,7 +20,11 @@ paper, from scratch:
 * :mod:`repro.qdom` — the QDOM client API and the mediator itself;
 * :mod:`repro.obs` — the observability layer: one instrumentation bus
   carrying counters, per-operator metrics, and navigation-level traces
-  (``EXPLAIN ANALYZE``, JSON trace export).
+  (``EXPLAIN ANALYZE``, JSON trace export);
+* :mod:`repro.resilience` — the fault-tolerant source layer:
+  deterministic fault injection, retry/timeout/circuit-breaker policies
+  (:class:`~repro.resilience.ResilientSource`), and partial-result
+  degradation via ``<mix:error>`` stubs.
 
 Quickstart::
 
@@ -42,6 +46,7 @@ Quickstart::
 """
 
 from repro.errors import (
+    CircuitOpenError,
     CompositionError,
     EvaluationError,
     MixError,
@@ -50,8 +55,11 @@ from repro.errors import (
     PlanError,
     RewriteError,
     SourceError,
+    SourceTimeoutError,
     SqlError,
+    TransientSourceError,
     TranslationError,
+    UnknownSourceError,
     XQueryParseError,
 )
 from repro.obs import (
@@ -70,18 +78,30 @@ from repro.algebra.translator import Translator, translate_query
 from repro.algebra.printer import render_plan
 from repro.engine import EagerEngine, LazyEngine
 from repro.composer import compose_at_root, decontextualize
+from repro.resilience import (
+    CircuitBreaker,
+    FaultInjectingSource,
+    ManualClock,
+    ResilientSource,
+    RetryPolicy,
+    Timeout,
+)
 from repro.rewriter import Rewriter, push_to_sources
 from repro.qdom import Mediator, QdomNode
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
     "CompositionError",
     "Database",
     "EagerEngine",
     "EvaluationError",
+    "FaultInjectingSource",
     "Instrument",
     "LazyEngine",
+    "ManualClock",
     "Mediator",
     "MixError",
     "NavigationError",
@@ -89,15 +109,21 @@ __all__ = [
     "PlanError",
     "QdomNode",
     "RelationalWrapper",
+    "ResilientSource",
+    "RetryPolicy",
     "RewriteError",
     "Rewriter",
     "SourceCatalog",
     "SourceError",
+    "SourceTimeoutError",
     "Span",
     "SqlError",
     "StatsRegistry",
+    "Timeout",
+    "TransientSourceError",
     "TranslationError",
     "Translator",
+    "UnknownSourceError",
     "XQueryParseError",
     "XmlFileSource",
     "compose_at_root",

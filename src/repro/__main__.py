@@ -11,14 +11,28 @@ Commands:
 * ``explain``  — EXPLAIN ANALYZE the paper's Q1 (or a query read from a
   file with ``explain <path>``) against the Fig. 2 database; ``--json``
   additionally prints the JSON trace of a single ``d`` navigation.
+
+``demo`` and ``explain`` accept ``--fault-profile=NAME`` (with optional
+``--fault-seed=N``), which interposes a seeded
+:class:`~repro.resilience.FaultInjectingSource` plus a
+:class:`~repro.resilience.ResilientSource` between the mediator and the
+Fig. 2 wrapper, and switches the mediator to partial-result degradation:
+
+* ``transient`` — random transient pull/SQL faults, absorbed by retry;
+* ``slow``      — slow pulls against a latency budget (timeouts);
+* ``outage``    — a permanent failure that trips the circuit breaker.
+
+All profile timing runs on a manual clock: no real sleeps.
 """
 
 from __future__ import annotations
 
 import sys
 
+FAULT_PROFILES = ("transient", "slow", "outage")
 
-def _paper_mediator():
+
+def _paper_mediator(fault_profile=None, fault_seed=0):
     from repro import Database, Instrument, Mediator, RelationalWrapper
 
     stats = Instrument()
@@ -36,7 +50,90 @@ def _paper_mediator():
         .register_document("root1", "customer")
         .register_document("root2", "orders", element_label="order")
     )
-    return stats, Mediator(stats=stats).add_source(wrapper)
+    if fault_profile is None:
+        return stats, Mediator(stats=stats).add_source(wrapper)
+    source = _faulty_source(wrapper, fault_profile, fault_seed, stats)
+    # SQL push-down off: the demo should *navigate* the faulty source,
+    # so the injected pull faults (and their recovery) actually fire.
+    mediator = Mediator(
+        stats=stats, push_sql=False, on_source_error="degrade"
+    )
+    return stats, mediator.add_source(source)
+
+
+def _faulty_source(wrapper, profile, seed, stats):
+    """Wrap the paper wrapper per a named fault profile (seeded)."""
+    from repro.resilience import (
+        CircuitBreaker,
+        FaultInjectingSource,
+        ManualClock,
+        ResilientSource,
+        RetryPolicy,
+        Timeout,
+    )
+
+    clock = ManualClock()
+    faulty = FaultInjectingSource(
+        wrapper, clock=clock, seed=seed, obs=stats
+    )
+    retry = RetryPolicy(attempts=3, base_delay=0.05, sleep=clock.sleep)
+    if profile == "transient":
+        faulty.fail_pulls_randomly("root1", 0.4)
+        faulty.fail_pulls_randomly("root2", 0.4)
+        faulty.fail_sql(times=1)
+        return ResilientSource(
+            faulty, retry=retry, on_error="degrade", obs=stats
+        )
+    if profile == "slow":
+        faulty.slow_pull("root1", 0, delay=0.5, times=1)
+        faulty.slow_pull("root2", 1, delay=0.5, times=1)
+        return ResilientSource(
+            faulty, retry=retry, timeout=Timeout(0.25, clock=clock),
+            on_error="degrade", obs=stats,
+        )
+    if profile == "outage":
+        # Two consecutive permanent failures trip the breaker (threshold
+        # 2): the rest of root2 is circuit-rejected and the stream ends
+        # with a terminal stub.
+        faulty.fail_pull("root2", 0, kind="permanent")
+        faulty.fail_pull("root2", 1, kind="permanent")
+        faulty.fail_sql(kind="permanent", match="orders")
+        breaker = CircuitBreaker(
+            failure_threshold=2, cooldown=5.0, clock=clock
+        )
+        return ResilientSource(
+            faulty, retry=retry, breaker=breaker,
+            on_error="degrade", obs=stats,
+        )
+    raise ValueError(
+        "unknown fault profile {!r} (choose from {})".format(
+            profile, "/".join(FAULT_PROFILES)
+        )
+    )
+
+
+def _pop_option(args, name):
+    """Extract ``--name=value`` from an argument list."""
+    value = None
+    rest = []
+    for arg in args:
+        if arg.startswith(name + "="):
+            value = arg.split("=", 1)[1]
+        else:
+            rest.append(arg)
+    return value, rest
+
+
+def _fault_options(args):
+    profile, args = _pop_option(args, "--fault-profile")
+    seed, args = _pop_option(args, "--fault-seed")
+    if profile is not None and profile not in FAULT_PROFILES:
+        raise SystemExit(
+            "unknown fault profile {!r} (choose from {})".format(
+                profile, "/".join(FAULT_PROFILES)
+            )
+        )
+    return profile, int(seed or 0), args
 
 
 Q1 = """
@@ -49,7 +146,15 @@ RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}
 
 def cmd_demo(args=()):
     """Example 2.1, command for command, with traffic counters."""
-    stats, mediator = _paper_mediator()
+    profile, seed, args = _fault_options(list(args))
+    stats, mediator = _paper_mediator(
+        fault_profile=profile, fault_seed=seed
+    )
+    if profile is not None:
+        # The scripted Example 2.1 walk assumes every step lands on a
+        # node; under injected faults parts of the view may be missing,
+        # so the faulty demo walks whatever survived instead.
+        return _demo_faulty(stats, mediator, profile, seed)
 
     def say(command, node):
         label = node.fl() if node is not None else "⊥"
@@ -89,6 +194,39 @@ def cmd_demo(args=()):
     return 0
 
 
+def _demo_faulty(stats, mediator, profile, seed):
+    """Walk Q1's degraded result and report what the faults cost."""
+    from repro.resilience import ERROR_LABEL
+
+    print("Example 2.1 under fault profile {!r} (seed {}):\n".format(
+        profile, seed))
+    totals = {"nodes": 0, "stubs": 0}
+
+    def walk(node, depth):
+        while node is not None:
+            label = str(node.fl())
+            totals["nodes"] += 1
+            if label == ERROR_LABEL:
+                totals["stubs"] += 1
+            print("  {}{}".format("  " * depth, label))
+            walk(node.d(), depth + 1)
+            node = node.r()
+
+    walk(mediator.query(Q1).d(), 0)
+    print("\n  nodes={} degraded_stubs={}".format(
+        totals["nodes"], totals["stubs"]))
+    print("  faults_injected={} source_retries={} source_timeouts={} "
+          "degraded_results={} breaker_transitions={}".format(
+              stats.get("faults_injected"), stats.get("source_retries"),
+              stats.get("source_timeouts"), stats.get("degraded_results"),
+              stats.get("breaker_transitions")))
+    for source in mediator.catalog.sources():
+        health = getattr(source, "resilience_health", None)
+        if callable(health):
+            print("  health: {}".format(health()))
+    return 0
+
+
 def cmd_figures(args=()):
     """Regenerate the paper's artifacts to stdout."""
     import subprocess
@@ -118,6 +256,7 @@ def cmd_explain(args=()):
     as_json = "--json" in args
     while "--json" in args:
         args.remove("--json")
+    profile, seed, args = _fault_options(args)
     query = Q1
     if args:
         try:
@@ -127,7 +266,7 @@ def cmd_explain(args=()):
             print("explain: cannot read {}: {}".format(args[0], exc),
                   file=sys.stderr)
             return 1
-    __, mediator = _paper_mediator()
+    __, mediator = _paper_mediator(fault_profile=profile, fault_seed=seed)
     try:
         print(mediator.explain(query))
     except MixError as exc:
@@ -153,7 +292,9 @@ def main(argv=None):
     }
     if not argv or argv[0] not in commands:
         print(__doc__)
-        print("usage: python -m repro {demo|figures|bench|explain}")
+        print("usage: python -m repro {demo|figures|bench|explain}"
+              " [--fault-profile=" + "|".join(FAULT_PROFILES) +
+              "] [--fault-seed=N]")
         return 2
     return commands[argv[0]](argv[1:])
 

@@ -10,7 +10,15 @@ benchmarks compare the lazy engine's source traffic against it.
 from __future__ import annotations
 
 from repro import stats as statnames
-from repro.errors import EvaluationError, PlanError
+from repro.errors import (
+    CircuitOpenError,
+    EvaluationError,
+    PlanError,
+    SourceError,
+    TransientSourceError,
+)
+from repro.resilience.resilient import DEGRADE, RAISE
+from repro.resilience.stub import stub_for_error
 from repro.xmltree.tree import Node, OidGenerator
 from repro.algebra import operators as ops
 from repro.algebra.bindings import BindingSet, BindingTuple
@@ -22,16 +30,37 @@ from repro.obs.tokens import node_token
 
 
 class EagerEngine:
-    """Evaluates XMAS plans by full materialization."""
+    """Evaluates XMAS plans by full materialization.
 
-    def __init__(self, catalog, stats=None, oids=None, profiler=None):
+    ``on_source_error="degrade"`` substitutes ``<mix:error>`` stubs for
+    failed source reads (mirroring the lazy engine), instead of raising.
+    """
+
+    def __init__(self, catalog, stats=None, oids=None, profiler=None,
+                 on_source_error=RAISE):
+        if on_source_error not in (RAISE, DEGRADE):
+            raise ValueError(
+                "on_source_error must be 'raise' or 'degrade', "
+                "got {!r}".format(on_source_error)
+            )
         self.catalog = catalog
         self.stats = stats or Instrument()
         self.obs = self.stats
         self.oids = oids or OidGenerator("e")
+        self.on_source_error = on_source_error
         self.profiler = profiler
         if profiler is not None:
             profiler.bind(self.obs)
+
+    def _degraded_stub(self, exc, source=None):
+        """Record and build the stub standing in for a failed subtree."""
+        self.obs.incr(statnames.DEGRADED_RESULTS)
+        self.obs.event(
+            "degraded", str(exc),
+            source=str(source or getattr(exc, "source", None)
+                       or getattr(exc, "doc_id", None)),
+        )
+        return stub_for_error(exc, source=source, oids=self.oids)
 
     # -- entry points ---------------------------------------------------------
 
@@ -96,6 +125,16 @@ class EagerEngine:
                 raise EvaluationError(
                     "mksrc over a sub-plan requires a tree-producing plan"
                 )
+        elif self.on_source_error == DEGRADE:
+            # Per-pull degradation, mirroring the lazy engine: transient
+            # faults insert a stub before the re-attempted element,
+            # permanent faults replace the poisoned position.
+            return self._count(
+                BindingSet(
+                    BindingTuple({plan.var: child})
+                    for child in self._degraded_children(plan.source)
+                )
+            )
         else:
             root = self.catalog.materialize(plan.source)
         out = BindingSet(
@@ -103,11 +142,47 @@ class EagerEngine:
         )
         return self._count(out)
 
+    def _degraded_children(self, source):
+        """Pull a document's children, substituting stubs for failures."""
+        try:
+            children = iter(self.catalog.iter_children(source))
+        except SourceError as exc:
+            yield self._degraded_stub(exc, source=source)
+            return
+        while True:
+            try:
+                child = next(children)
+            except StopIteration:
+                return
+            except SourceError as exc:
+                yield self._degraded_stub(exc, source=source)
+                if isinstance(exc, CircuitOpenError):
+                    return  # the source is out of service
+                if isinstance(exc, TransientSourceError):
+                    continue  # re-attempt the position (insertion)
+                skip = getattr(children, "skip", None)
+                if skip is None:
+                    return
+                skip()
+                continue
+            else:
+                yield child
+
     def _eval_relquery(self, plan, nested_env):
-        server = self.catalog.server(plan.server)
-        self.obs.incr(statnames.RQ_STATEMENTS)
-        self.obs.event("sql", plan.sql, server=plan.server)
-        cursor = server.execute_sql(plan.sql)
+        try:
+            server = self.catalog.server(plan.server)
+            self.obs.incr(statnames.RQ_STATEMENTS)
+            self.obs.event("sql", plan.sql, server=plan.server)
+            cursor = server.execute_sql(plan.sql)
+        except SourceError as exc:
+            if self.on_source_error != DEGRADE:
+                raise
+            stub = self._degraded_stub(exc, source=plan.server)
+            return self._count(
+                BindingSet(
+                    [BindingTuple({e.var: stub for e in plan.varmap})]
+                )
+            )
         out = BindingSet()
         for row in cursor:
             bindings = {}
@@ -237,21 +312,29 @@ class EagerEngine:
             else (root_oid or self.oids.fresh()),
             "list",
         )
-        for t in self._tuples(plan.input, nested_env):
-            value = t.get(plan.var)
-            if isinstance(value, Node):
-                root.append(value)
-            elif isinstance(value, VList):
-                for item in value:
-                    if not isinstance(item, Node):
-                        raise EvaluationError(
-                            "tD cannot export nested sets"
+        try:
+            for t in self._tuples(plan.input, nested_env):
+                value = t.get(plan.var)
+                if isinstance(value, Node):
+                    root.append(value)
+                elif isinstance(value, VList):
+                    for item in value:
+                        if not isinstance(item, Node):
+                            raise EvaluationError(
+                                "tD cannot export nested sets"
+                            )
+                        root.append(item)
+                else:
+                    raise EvaluationError(
+                        "tD variable {} bound to a nested set".format(
+                            plan.var
                         )
-                    root.append(item)
-            else:
-                raise EvaluationError(
-                    "tD variable {} bound to a nested set".format(plan.var)
-                )
+                    )
+        except SourceError as exc:
+            # The outermost degradation net, mirroring the lazy tD.
+            if self.on_source_error != DEGRADE:
+                raise
+            root.append(self._degraded_stub(exc))
         return root
 
     def _eval_groupby(self, plan, nested_env):

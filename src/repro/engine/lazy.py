@@ -25,7 +25,15 @@ the buffering stateful one otherwise.
 from __future__ import annotations
 
 from repro import stats as statnames
-from repro.errors import EvaluationError, PlanError
+from repro.errors import (
+    CircuitOpenError,
+    EvaluationError,
+    PlanError,
+    SourceError,
+    TransientSourceError,
+)
+from repro.resilience.resilient import DEGRADE, RAISE
+from repro.resilience.stub import stub_for_error
 from repro.xmltree.tree import Node, OidGenerator, atomize
 from repro.algebra import operators as ops
 from repro.algebra.bindings import BindingSet, BindingTuple
@@ -50,18 +58,38 @@ class LazyEngine:
         stats: counters shared with the sources.
         force_stateful_gby: disable the Table-1 presorted gBy (used by
             benchmarks to isolate its effect).
+        on_source_error: ``"raise"`` (default) propagates source
+            failures; ``"degrade"`` substitutes ``<mix:error>`` stubs so
+            navigation over the healthy part of the result continues.
     """
 
     def __init__(self, catalog, stats=None, oids=None,
-                 force_stateful_gby=False, profiler=None):
+                 force_stateful_gby=False, profiler=None,
+                 on_source_error=RAISE):
+        if on_source_error not in (RAISE, DEGRADE):
+            raise ValueError(
+                "on_source_error must be 'raise' or 'degrade', "
+                "got {!r}".format(on_source_error)
+            )
         self.catalog = catalog
         self.stats = stats or Instrument()
         self.obs = self.stats
         self.oids = oids or OidGenerator("L")
         self.force_stateful_gby = force_stateful_gby
+        self.on_source_error = on_source_error
         self.profiler = profiler
         if profiler is not None:
             profiler.bind(self.obs)
+
+    def _degraded_stub(self, exc, source=None):
+        """Record and build the stub standing in for a failed subtree."""
+        self.obs.incr(statnames.DEGRADED_RESULTS)
+        self.obs.event(
+            "degraded", str(exc),
+            source=str(source or getattr(exc, "source", None)
+                       or getattr(exc, "doc_id", None)),
+        )
+        return stub_for_error(exc, source=source, oids=self.oids)
 
     # -- entry points -----------------------------------------------------------
 
@@ -140,7 +168,21 @@ class LazyEngine:
             yield item
 
     def _td_children_raw(self, plan, env):
-        for t in self.stream(plan.input, env):
+        # The outermost degradation net: a source failure that escapes
+        # the operators below (the leaf-level nets catch their own)
+        # becomes one stub child and ends the export, instead of
+        # unwinding the client's navigation.
+        stream = iter(self.stream(plan.input, env))
+        while True:
+            try:
+                t = next(stream)
+            except StopIteration:
+                return
+            except SourceError as exc:
+                if self.on_source_error != DEGRADE:
+                    raise
+                yield self._degraded_stub(exc)
+                return
             value = t.get(plan.var)
             if isinstance(value, Node):
                 yield value
@@ -162,18 +204,60 @@ class LazyEngine:
                 raise EvaluationError(
                     "mksrc over a sub-plan requires a tD-rooted plan"
                 )
-            children = self._td_children(plan.input, env)
+            children = iter(self._td_children(plan.input, env))
         else:
-            children = self.catalog.iter_children(plan.source)
-        for child in children:
+            try:
+                children = iter(self.catalog.iter_children(plan.source))
+            except SourceError as exc:
+                if self.on_source_error != DEGRADE:
+                    raise
+                stub = self._degraded_stub(exc, source=plan.source)
+                yield BindingTuple({plan.var: stub})
+                return
+        while True:
+            try:
+                child = next(children)
+            except StopIteration:
+                return
+            except SourceError as exc:
+                if self.on_source_error != DEGRADE:
+                    raise
+                stub = self._degraded_stub(exc, source=plan.source)
+                yield BindingTuple({plan.var: stub})
+                if isinstance(exc, CircuitOpenError):
+                    return  # the source is out of service
+                if isinstance(exc, TransientSourceError):
+                    # Re-attempt the position: a retry-safe iterator
+                    # retries in place (insertion semantics — the real
+                    # element follows its stub); a dead generator just
+                    # stops at the next pull.
+                    continue
+                # Permanent: move past the poisoned position if the
+                # iterator can, otherwise end the leaf — looping on a
+                # dead stream would emit stubs forever.
+                skip = getattr(children, "skip", None)
+                if skip is None:
+                    return
+                skip()
+                continue
             yield BindingTuple({plan.var: child})
 
     def _eval_relquery(self, plan, env):
-        server = self.catalog.server(plan.server)
-        self.obs.incr(statnames.RQ_STATEMENTS)
-        self.obs.event("sql", plan.sql, server=plan.server)
-        cursor = server.execute_sql(plan.sql)
         from repro.engine.eager import _assemble_rq_element
+
+        try:
+            server = self.catalog.server(plan.server)
+            self.obs.incr(statnames.RQ_STATEMENTS)
+            self.obs.event("sql", plan.sql, server=plan.server)
+            cursor = server.execute_sql(plan.sql)
+        except SourceError as exc:
+            if self.on_source_error != DEGRADE:
+                raise
+            stub = self._degraded_stub(exc, source=plan.server)
+            yield BindingTuple(
+                {entry.var: stub for entry in plan.varmap}
+            )
+            return
 
         for row in cursor:
             bindings = {}

@@ -11,13 +11,21 @@ labeled ``list``.
 from __future__ import annotations
 
 from repro.errors import EvaluationError
+from repro.resilience.stub import is_error_stub
 from repro.xmltree.tree import Node
 from repro.xmltree.paths import Path, Step
 from repro.algebra.values import VList
 
 
 def eval_path_on_value(value, path):
-    """All nodes reached from ``value`` (Node or VList) via ``path``."""
+    """All nodes reached from ``value`` (Node or VList) via ``path``.
+
+    A ``<mix:error>`` degradation stub is *poison*: any path applied to
+    it yields the stub itself, so the marker survives navigation chains
+    and surfaces in the result tree instead of silently vanishing.
+    """
+    if is_error_stub(value):
+        return [value]
     if isinstance(value, Node):
         return path.evaluate(value)
     if isinstance(value, VList):

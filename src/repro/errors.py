@@ -82,8 +82,74 @@ class CompositionError(MixError):
 
 
 class SourceError(MixError):
-    """A wrapped source rejected a request or is misconfigured."""
+    """A wrapped source rejected a request or is misconfigured.
+
+    Attributes:
+        doc_id: the document the failing request addressed (``None`` for
+            requests that are not document-scoped).
+        sql: the offending pushed-down SQL text, when the request was an
+            :meth:`~repro.sources.base.Source.execute_sql`.
+        source: a printable name of the source the request went to.
+
+    The message is kept as the sole ``args`` entry so every subclass
+    pickles with the standard machinery (the payload attributes travel
+    in ``__dict__``); resilience errors cross the obs export boundary as
+    JSON and must survive ``pickle``/``repr`` round-trips.
+    """
+
+    def __init__(self, message, doc_id=None, sql=None, source=None):
+        super().__init__(message)
+        self.doc_id = doc_id
+        self.sql = sql
+        self.source = source
 
 
 class UnknownSourceError(SourceError):
-    """A plan references a source id that the mediator does not know."""
+    """A plan references a source id that the mediator does not know.
+
+    Attributes:
+        known: the sorted list of names the catalog *does* know, so the
+            error message (and any tooling on top) can suggest
+            alternatives.
+    """
+
+    def __init__(self, message, doc_id=None, known=()):
+        super().__init__(message, doc_id=doc_id)
+        self.known = list(known)
+
+
+class TransientSourceError(SourceError):
+    """A source request failed in a way that may succeed when retried
+    (a dropped connection, an injected transient fault, ...).
+
+    The retry policy of :class:`repro.resilience.ResilientSource`
+    retries exactly this class (and its subclasses) by default.
+    """
+
+
+class SourceTimeoutError(TransientSourceError):
+    """A source request exceeded its latency budget.
+
+    Attributes:
+        limit: the configured budget in (clock) seconds.
+        elapsed: how long the request actually took.
+    """
+
+    def __init__(self, message, doc_id=None, sql=None, source=None,
+                 limit=None, elapsed=None):
+        super().__init__(message, doc_id=doc_id, sql=sql, source=source)
+        self.limit = limit
+        self.elapsed = elapsed
+
+
+class CircuitOpenError(SourceError):
+    """A request was rejected without reaching the source because its
+    circuit breaker is open (the source failed too often recently).
+
+    Attributes:
+        retry_after: clock seconds until the breaker will admit a probe.
+    """
+
+    def __init__(self, message, doc_id=None, source=None, retry_after=None):
+        super().__init__(message, doc_id=doc_id, source=source)
+        self.retry_after = retry_after

@@ -83,21 +83,84 @@ def explain_analyze_with_trace(mediator, query_text, mask_times=False):
     plan = mediator.translate(query_text)
     plan = mediator._expand_views(plan)
     exec_plan, __ = mediator.optimize_plan(plan)
+    policy = getattr(mediator, "on_source_error", "raise")
+    before = _resilience_snapshot(mediator.catalog)
     with instrument.command_span(
         "explain", kind="explain", query=_clip(query_text)
     ):
         if mediator.lazy:
-            engine = LazyEngine(mediator.catalog, stats=instrument)
+            engine = LazyEngine(
+                mediator.catalog, stats=instrument, on_source_error=policy
+            )
             root = engine.evaluate_tree(exec_plan)
             walk_fully(VNode.root(root))
         else:
-            engine = EagerEngine(mediator.catalog, stats=instrument)
+            engine = EagerEngine(
+                mediator.catalog, stats=instrument, on_source_error=policy
+            )
             engine.evaluate_tree(exec_plan)
+        after = _resilience_snapshot(mediator.catalog)
+        resilience = _resilience_deltas(before, after)
+        for entry in resilience:
+            # Inside the command span, so the JSON trace export carries
+            # the per-source resilience summary alongside the spans.
+            instrument.event(
+                "resilience",
+                "retries={retries} timeouts={timeouts} "
+                "failures={failures} degraded={degraded}".format(**entry),
+                **{"source": entry["source"],
+                   "breaker": str(entry["breaker"]),
+                   "transitions": ",".join(entry["transitions"]) or "-"}
+            )
     text = render_explain(exec_plan, instrument, mask_times=mask_times)
     footer = "-- tuples={} rq_statements={}".format(
         instrument.get("operator_tuples"), instrument.get("rq_statements")
     )
+    for entry in resilience:
+        footer += (
+            "\n-- resilience[{source}]: retries={retries} "
+            "timeouts={timeouts} failures={failures} degraded={degraded} "
+            "circuit_rejections={circuit_rejections} "
+            "breaker={breaker} transitions={transitions_text}".format(
+                transitions_text=",".join(entry["transitions"]) or "-",
+                **entry
+            )
+        )
     return text + "\n" + footer, instrument.last_trace(), exec_plan
+
+
+_HEALTH_COUNTERS = (
+    "retries", "failures", "timeouts", "degraded", "circuit_rejections"
+)
+
+
+def _resilience_snapshot(catalog):
+    """Current health of every resilient source the catalog knows."""
+    sources_fn = getattr(catalog, "sources", None)
+    if sources_fn is None:
+        return {}
+    out = {}
+    for source in sources_fn():
+        health_fn = getattr(source, "resilience_health", None)
+        if callable(health_fn):
+            health = health_fn()
+            out[health["source"]] = health
+    return out
+
+
+def _resilience_deltas(before, after):
+    """What each resilient source went through during one evaluation."""
+    deltas = []
+    for name in after:
+        pre = before.get(name, {})
+        entry = {"source": name}
+        for counter in _HEALTH_COUNTERS:
+            entry[counter] = after[name][counter] - pre.get(counter, 0)
+        seen = len(pre.get("breaker_transitions", []))
+        entry["transitions"] = after[name]["breaker_transitions"][seen:]
+        entry["breaker"] = after[name]["breaker"]
+        deltas.append(entry)
+    return deltas
 
 
 def _clip(text, limit=160):

@@ -41,16 +41,27 @@ class Mediator:
         lazy: evaluate with the navigation-driven engine; ``False``
             selects the eager full-materialization engine (the baseline
             the paper argues against).
+        on_source_error: ``"raise"`` (default) propagates source
+            failures to the client; ``"degrade"`` substitutes
+            ``<mix:error>`` stubs for failed subtrees so the rest of the
+            answer stays navigable (partial results).
     """
 
     def __init__(self, catalog=None, stats=None, optimize=True,
-                 push_sql=True, lazy=True, dedup_groups=False):
+                 push_sql=True, lazy=True, dedup_groups=False,
+                 on_source_error="raise"):
+        if on_source_error not in ("raise", "degrade"):
+            raise ValueError(
+                "on_source_error must be 'raise' or 'degrade', "
+                "got {!r}".format(on_source_error)
+            )
         self.catalog = catalog or SourceCatalog()
         self.stats = stats or Instrument()
         self.obs = self.stats
         self.optimize = optimize
         self.push_sql = push_sql
         self.lazy = lazy
+        self.on_source_error = on_source_error
         self._translator = Translator(dedup_groups=dedup_groups)
         self._rewriter = Rewriter()
         self._view_ids = itertools.count(1)
@@ -116,17 +127,19 @@ class Mediator:
 
     # -- the client interface --------------------------------------------------------
 
-    def query(self, query_text):
+    def query(self, query_text, on_source_error=None):
         """Run an XQuery against the registered sources and views.
 
         Returns the root :class:`QdomNode` of the (virtual) answer.
+        ``on_source_error`` overrides the mediator-wide failure policy
+        for this one query (``"raise"`` or ``"degrade"``).
         """
         with self.obs.command_span(
             "query", kind="query", query=_clip_query(query_text)
         ):
             plan = self.translate(query_text)
             plan = self._expand_views(plan)
-            return self._run(plan)
+            return self._run(plan, on_source_error=on_source_error)
 
     def query_from(self, qdom_node, query_text):
         """Run an XQuery whose ``document(root)`` is ``qdom_node``.
@@ -189,13 +202,18 @@ class Mediator:
                 plan = push_to_sources(plan, self.catalog)
         return plan, compose_plan
 
-    def _run(self, plan):
+    def _run(self, plan, on_source_error=None):
         exec_plan, compose_plan = self.optimize_plan(plan)
+        policy = on_source_error or self.on_source_error
         if self.lazy:
-            engine = LazyEngine(self.catalog, stats=self.stats)
+            engine = LazyEngine(
+                self.catalog, stats=self.stats, on_source_error=policy
+            )
             root = engine.evaluate_tree(exec_plan)
         else:
-            engine = EagerEngine(self.catalog, stats=self.stats)
+            engine = EagerEngine(
+                self.catalog, stats=self.stats, on_source_error=policy
+            )
             root = engine.evaluate_tree(exec_plan)
         return QdomNode(self, VNode.root(root, obs=self.obs), compose_plan)
 

@@ -64,9 +64,16 @@ class Session:
 
     # -- opening and refining -------------------------------------------------------
 
-    def open(self, query_text):
-        """Run a query against the sources and move to its result root."""
-        self._current = self._mediator.query(query_text)
+    def open(self, query_text, on_source_error=None):
+        """Run a query against the sources and move to its result root.
+
+        ``on_source_error`` overrides the mediator's failure policy for
+        this view: ``"degrade"`` keeps browsing over partial results
+        (``<mix:error>`` stubs mark the gaps), ``"raise"`` propagates.
+        """
+        self._current = self._mediator.query(
+            query_text, on_source_error=on_source_error
+        )
         self._view_stack = [self._current]
         self._record("open", query_text)
         return self

@@ -1,0 +1,64 @@
+"""Injectable time sources for the resilience layer.
+
+Every component that measures or waits (:class:`~repro.resilience.policy.
+RetryPolicy` backoff, :class:`~repro.resilience.policy.Timeout` budgets,
+:class:`~repro.resilience.policy.CircuitBreaker` cooldowns, and the fault
+injector's slow pulls) takes a clock object instead of calling
+:mod:`time` directly.  Tests and the fault injector share one
+:class:`ManualClock`, so the whole suite runs with *no real sleeps* and
+fully deterministic timing.
+
+A clock exposes two methods:
+
+* ``time()`` — a monotonically nondecreasing float of seconds;
+* ``sleep(seconds)`` — block (or pretend to) for ``seconds``.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class MonotonicClock:  # pragma: no cover — the suite never really sleeps
+    """The production clock: :func:`time.monotonic` + :func:`time.sleep`."""
+
+    def time(self):
+        return time.monotonic()
+
+    def sleep(self, seconds):
+        if seconds > 0:
+            time.sleep(seconds)
+
+    def __repr__(self):
+        return "MonotonicClock()"
+
+
+class ManualClock:
+    """A virtual clock advanced only by ``sleep``/``advance`` calls.
+
+    ``sleep`` returns immediately after moving the clock forward, so
+    backoff schedules and breaker cooldowns can be exercised instantly.
+    The clock records every sleep, which lets tests assert the exact
+    backoff sequence a retry policy produced.
+    """
+
+    def __init__(self, start=0.0):
+        self._now = float(start)
+        self.sleeps = []
+
+    def time(self):
+        return self._now
+
+    def sleep(self, seconds):
+        seconds = max(0.0, float(seconds))
+        self.sleeps.append(seconds)
+        self._now += seconds
+
+    def advance(self, seconds):
+        """Move time forward without recording a sleep."""
+        self._now += max(0.0, float(seconds))
+
+    def __repr__(self):
+        return "ManualClock(t={:.6f}, sleeps={})".format(
+            self._now, len(self.sleeps)
+        )

@@ -1,0 +1,458 @@
+"""The ``ResilientSource`` decorator: one fault-tolerance skin for every
+wrapper.
+
+Because all wrappers (relational, XML file, mediator-as-source — and the
+fault injector itself) speak the same :class:`~repro.sources.base.Source`
+interface, a single decorator gives the whole source layer retry with
+backoff, latency budgets, circuit breaking, and optional partial-result
+degradation::
+
+    resilient = ResilientSource(
+        wrapper,
+        retry=RetryPolicy(attempts=4, sleep=clock.sleep),
+        breaker=CircuitBreaker(failure_threshold=3, cooldown=5, clock=clock),
+        timeout=Timeout(0.25, clock=clock),
+        on_error="degrade",
+        obs=stats,
+    )
+    mediator = Mediator(stats=stats).add_source(resilient)
+
+Pull streams get special care, because a pull is *not* an idempotent
+call:
+
+* an injected/transient failure is retried **in place** when the inner
+  iterator declares ``retry_safe`` (its raise consumed nothing);
+* otherwise the stream is **reopened and fast-forwarded** past the
+  elements already delivered (sources iterate deterministically, e.g. a
+  re-executed cursor), so a mid-stream failure of a plain generator does
+  not silently truncate the stream;
+* a pull that exceeds the latency budget raises
+  :class:`SourceTimeoutError` but keeps the late value buffered — the
+  retry delivers it, so no element is ever lost to a timeout;
+* with ``on_error="degrade"``, a pull whose retry budget is exhausted
+  yields a ``<mix:error>`` stub (see :mod:`repro.resilience.stub`) and
+  the stream continues past the poisoned position.
+
+Everything the decorator does is reported: counters
+(``source_retries``, ``source_timeouts``, ``source_failures``,
+``breaker_transitions``, ``degraded_results``) and span events
+(``retry``, ``breaker``, ``degraded``) land on the instrument passed as
+``obs``, and :meth:`ResilientSource.resilience_health` exposes the
+cumulative tallies that ``Mediator.explain`` renders per source.
+"""
+
+from __future__ import annotations
+
+from repro import stats as statnames
+from repro.errors import (
+    CircuitOpenError,
+    SourceError,
+    SourceTimeoutError,
+    TransientSourceError,
+)
+from repro.resilience.stub import stub_for_error
+from repro.sources.base import Source
+
+RAISE = "raise"
+DEGRADE = "degrade"
+
+_NO_VALUE = object()
+
+
+class ResilientSource(Source):
+    """Wrap ``inner`` with retry/timeout/breaker policies.
+
+    Args:
+        inner: any :class:`Source`.
+        retry: a :class:`~repro.resilience.policy.RetryPolicy`
+            (``None`` = single attempt, no retrying).
+        breaker: a :class:`~repro.resilience.policy.CircuitBreaker`
+            guarding every call and pull (``None`` = no breaker).
+        timeout: a :class:`~repro.resilience.policy.Timeout` budget
+            applied per call/pull (``None`` = unbounded).
+        on_error: ``"raise"`` propagates exhausted failures;
+            ``"degrade"`` substitutes ``<mix:error>`` stubs in pull
+            streams and keeps going.
+        obs: the :class:`~repro.obs.Instrument` to report to.
+        name: printable name used in errors, stubs, and health reports
+            (defaults to the inner wrapper's server name or class).
+    """
+
+    def __init__(self, inner, retry=None, breaker=None, timeout=None,
+                 on_error=RAISE, obs=None, name=None):
+        if on_error not in (RAISE, DEGRADE):
+            raise ValueError(
+                "on_error must be 'raise' or 'degrade', got {!r}".format(
+                    on_error
+                )
+            )
+        self.inner = inner
+        self.retry = retry
+        self.breaker = breaker
+        self.timeout = timeout
+        self.on_error = on_error
+        self.name = name or (
+            getattr(inner, "server_name", None) or type(inner).__name__
+        )
+        self._obs = obs
+        self._health = {
+            "retries": 0,
+            "failures": 0,
+            "timeouts": 0,
+            "degraded": 0,
+            "circuit_rejections": 0,
+        }
+        if breaker is not None:
+            if breaker.name is None:
+                breaker.name = self.name
+            breaker.on_transition = self._chain_transition(
+                breaker.on_transition
+            )
+
+    # -- observability -----------------------------------------------------------------
+
+    def _chain_transition(self, previous):
+        def hook(from_state, to_state):
+            self._note_breaker(from_state, to_state)
+            if previous is not None:
+                previous(from_state, to_state)
+
+        return hook
+
+    def _note_breaker(self, from_state, to_state):
+        if self._obs is not None:
+            self._obs.incr(statnames.BREAKER_TRANSITIONS)
+            self._obs.event(
+                "breaker",
+                "{}->{}".format(from_state, to_state),
+                source=self.name,
+            )
+
+    def _note_retry(self, attempt, exc, doc_id):
+        self._health["retries"] += 1
+        if self._obs is not None:
+            self._obs.incr(statnames.SOURCE_RETRIES)
+            self._obs.event(
+                "retry",
+                str(exc),
+                source=self.name,
+                doc=str(doc_id),
+                attempt=attempt,
+            )
+
+    def _note_failure(self, exc, doc_id):
+        self._health["failures"] += 1
+        if isinstance(exc, SourceTimeoutError):
+            self._health["timeouts"] += 1
+            if self._obs is not None:
+                self._obs.incr(statnames.SOURCE_TIMEOUTS)
+        if isinstance(exc, CircuitOpenError):
+            self._health["circuit_rejections"] += 1
+        if self._obs is not None:
+            self._obs.incr(statnames.SOURCE_FAILURES)
+
+    def _note_degraded(self, exc, doc_id):
+        self._health["degraded"] += 1
+        if self._obs is not None:
+            self._obs.incr(statnames.DEGRADED_RESULTS)
+            self._obs.event(
+                "degraded", str(exc), source=self.name, doc=str(doc_id)
+            )
+
+    def resilience_health(self):
+        """Cumulative health of this source, for explain and dashboards.
+
+        Returns a dict of the counters above plus the breaker's current
+        state and its transition history as ``"closed->open"`` strings.
+        """
+        health = dict(self._health)
+        health["source"] = self.name
+        if self.breaker is not None:
+            health["breaker"] = self.breaker.state
+            health["breaker_transitions"] = [
+                "{}->{}".format(a, b) for a, b in self.breaker.transitions
+            ]
+        else:
+            health["breaker"] = None
+            health["breaker_transitions"] = []
+        return health
+
+    # -- protected idempotent calls -----------------------------------------------------
+
+    def _attempts(self):
+        return self.retry.attempts if self.retry is not None else 1
+
+    def _retryable(self):
+        if self.retry is not None:
+            return self.retry.retry_on
+        return (TransientSourceError,)
+
+    def _call(self, fn, doc_id=None, sql=None, record_success=True):
+        """Run an idempotent source call under all three policies.
+
+        ``record_success=False`` is used when merely *opening* a pull
+        stream: a generator-backed source runs no code until the first
+        pull, so success there would spuriously reset the breaker's
+        consecutive-failure count.
+        """
+        attempts = self._attempts()
+        retryable = self._retryable()
+        attempt = 0
+        while True:
+            if self.breaker is not None:
+                try:
+                    self.breaker.allow(doc_id)
+                except CircuitOpenError as exc:
+                    self._note_failure(exc, doc_id)
+                    raise
+            try:
+                if self.timeout is not None:
+                    result = self.timeout.guard(
+                        fn, doc_id=doc_id, source=self.name
+                    )
+                else:
+                    result = fn()
+            except retryable as exc:
+                self._note_failure(exc, doc_id)
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                if attempt >= attempts - 1:
+                    raise
+                attempt += 1
+                self._note_retry(attempt, exc, doc_id)
+                if self.retry is not None:
+                    self.retry.backoff(attempt - 1)
+            except SourceError as exc:
+                self._note_failure(exc, doc_id)
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                raise
+            else:
+                if record_success and self.breaker is not None:
+                    self.breaker.record_success()
+                return result
+
+    # -- Source interface --------------------------------------------------------------
+
+    def document_ids(self):
+        return self._call(self.inner.document_ids)
+
+    def iter_document_children(self, doc_id):
+        return _ResilientIterator(self, doc_id)
+
+    def materialize_document(self, doc_id):
+        if self.on_error == DEGRADE:
+            # Build through our own pull stream so per-pull retry and
+            # stub substitution apply uniformly to the eager path.  The
+            # rebuilt root is ``list``-labeled, matching the wrappers'
+            # own materialization convention.
+            from repro.xmltree.tree import Node
+
+            root = Node("&{}".format(doc_id), "list")
+            for child in self.iter_document_children(doc_id):
+                root.append(child)
+            return root
+        return self._call(
+            lambda: self.inner.materialize_document(doc_id), doc_id=doc_id
+        )
+
+    def supports_sql(self):
+        return self.inner.supports_sql()
+
+    def execute_sql(self, sql):
+        return self._call(lambda: self.inner.execute_sql(sql), sql=sql)
+
+    def describe_table(self, table_name):
+        return self._call(lambda: self.inner.describe_table(table_name))
+
+    def __getattr__(self, attr):
+        # Wrapper-specific planning surface (server_name,
+        # table_for_document, label_for_document, oid_to_key,
+        # invalidate, ...) passes through untouched.
+        return getattr(self.inner, attr)
+
+    def __repr__(self):
+        return "ResilientSource({!r}, retry={}, breaker={}, on_error={})".format(
+            self.name, self.retry, self.breaker, self.on_error
+        )
+
+
+class _ResilientIterator:
+    """The policy-protected pull stream over one document."""
+
+    retry_safe = True
+
+    def __init__(self, source, doc_id):
+        self._rs = source
+        self._doc = doc_id
+        self._consumed = 0      # elements pulled from the wrapped stream
+        self._pending = _NO_VALUE   # late value from a timed-out pull
+        self._done = False
+        self._failed_open = None    # opening error held for degradation
+        # Hoisted off the per-pull hot path.
+        self._attempts = source._attempts()
+        self._retryable = source._retryable()
+        try:
+            self._inner = iter(
+                source._call(
+                    lambda: source.inner.iter_document_children(doc_id),
+                    doc_id=doc_id,
+                    record_success=False,
+                )
+            )
+        except SourceError as exc:
+            if source.on_error != DEGRADE:
+                raise
+            # The stream could not even open (e.g. the breaker is
+            # already open): the first pull degrades to a single stub.
+            self._failed_open = exc
+            self._inner = iter(())
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        rs = self._rs
+        if self._done:
+            raise StopIteration
+        if self._failed_open is not None:
+            exc, self._failed_open = self._failed_open, None
+            return self._give_up(exc, terminal=True)
+        attempt = 0
+        attempts = self._attempts
+        retryable = self._retryable
+        while True:
+            if self._pending is not _NO_VALUE:
+                item = self._pending
+                self._pending = _NO_VALUE
+                if rs.breaker is not None:
+                    rs.breaker.record_success()
+                return item
+            try:
+                if rs.breaker is not None:
+                    rs.breaker.allow(self._doc)
+            except CircuitOpenError as exc:
+                rs._note_failure(exc, self._doc)
+                # An open breaker means the source is out of service:
+                # degrade marks the remainder of the stream with one
+                # stub; raising is the default.
+                return self._give_up(exc, terminal=True)
+            try:
+                item = self._pull()
+            except StopIteration:
+                self._done = True
+                raise
+            except retryable as exc:
+                rs._note_failure(exc, self._doc)
+                if rs.breaker is not None:
+                    rs.breaker.record_failure()
+                if attempt < attempts - 1:
+                    attempt += 1
+                    rs._note_retry(attempt, exc, self._doc)
+                    if rs.retry is not None:
+                        rs.retry.backoff(attempt - 1)
+                    self._recover()
+                    continue
+                return self._give_up(exc)
+            except SourceError as exc:
+                rs._note_failure(exc, self._doc)
+                if rs.breaker is not None:
+                    rs.breaker.record_failure()
+                return self._give_up(exc)
+            else:
+                if rs.breaker is not None:
+                    rs.breaker.record_success()
+                return item
+
+    def _pull(self):
+        """One attempt: pull, count consumption, enforce the budget."""
+        rs = self._rs
+        if rs.timeout is None:
+            item = next(self._inner)
+            self._consumed += 1
+            return item
+        timeout = rs.timeout
+        clock = timeout.clock
+        start = clock.time()
+        item = next(self._inner)
+        elapsed = clock.time() - start
+        self._consumed += 1
+        if elapsed > timeout.limit:
+            # The value arrived late; keep it so the retry (or the next
+            # pull, under degradation) delivers it instead of losing it.
+            self._pending = item
+            timeout.check(elapsed, doc_id=self._doc, source=rs.name)
+        return item
+
+    def _recover(self):
+        """Prepare the stream for another attempt at the failed pull."""
+        if getattr(self._inner, "retry_safe", False):
+            return  # the raise consumed nothing; just pull again
+        self._reopen(skip=self._consumed)
+
+    def _reopen(self, skip):
+        """Restart the wrapped stream and fast-forward ``skip`` items."""
+        rs = self._rs
+        self._inner = iter(
+            rs.inner.iter_document_children(self._doc)
+        )
+        self._consumed = 0
+        for __ in range(skip):
+            try:
+                next(self._inner)
+            except StopIteration:
+                self._done = True
+                return
+            self._consumed += 1
+
+    def _give_up(self, exc, terminal=False):
+        """Retry budget exhausted: degrade to a stub or propagate.
+
+        Transient failures get *insertion* semantics: the poisoned
+        position is left to be re-attempted by the next pull, so the
+        real element follows its stub and stripping stubs recovers the
+        fault-free stream exactly.  Permanent failures *abandon* the
+        position — re-attempting would fail forever.
+        """
+        rs = self._rs
+        if rs.on_error != DEGRADE:
+            raise exc
+        rs._note_degraded(exc, self._doc)
+        transient = isinstance(exc, TransientSourceError)
+        if terminal:
+            # Breaker open (or equally terminal): one stub marks the
+            # unavailable remainder, then the stream ends.
+            self._done = True
+        elif self._pending is not _NO_VALUE:
+            # A timed-out pull already consumed the position; its late
+            # value is buffered and will follow the stub.
+            pass
+        elif getattr(self._inner, "retry_safe", False):
+            if not transient:
+                skip = getattr(self._inner, "skip", None)
+                if skip is not None:
+                    skip()  # abandon the poisoned position
+                else:
+                    # No way to move past the position: end the stream
+                    # after the stub rather than looping on it.
+                    self._done = True
+        elif transient:
+            # A dead generator: restart it and re-attempt the position.
+            self._safe_reopen(skip=self._consumed)
+        else:
+            self._safe_reopen(skip=self._consumed + 1)
+        return stub_for_error(exc, source=rs.name)
+
+    def _safe_reopen(self, skip):
+        """Reopen for degradation; a stream that cannot be fast-forwarded
+        past the poisoned position (the fault re-fires during replay)
+        ends after the stub instead of leaking the error."""
+        try:
+            self._reopen(skip=skip)
+        except SourceError:
+            self._done = True
+
+    def __repr__(self):
+        return "_ResilientIterator({!r}, consumed={})".format(
+            self._doc, self._consumed
+        )

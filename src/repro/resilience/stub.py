@@ -1,0 +1,93 @@
+"""The ``<mix:error>`` degradation stub and its contract.
+
+When a mediator runs with ``on_source_error="degrade"`` (or a
+:class:`~repro.resilience.resilient.ResilientSource` is built with
+``on_error="degrade"``), a source failure that survives the retry budget
+does not unwind the navigation stack.  Instead a *stub element* marks the
+spot where data is missing::
+
+    <mix:error>
+      <source>root2</source>
+      <reason>injected transient fault</reason>
+    </mix:error>
+
+The stub contract (see docs/API.md, "Fault tolerance"):
+
+* the stub's label is exactly :data:`ERROR_LABEL`, and its children are
+  ``source`` and ``reason`` leaf-carrying elements (the data model has
+  no attributes — attributes lift to child elements, as everywhere);
+* path navigation (``getD``) treats a stub as *poison*: any path applied
+  to a stub yields the stub itself, so the marker survives arbitrary
+  navigation chains and lands in the result tree;
+* conditions involving a stub are false (a stub never atomizes), so
+  ``WHERE``-filtered and join-matched stubs drop out silently — the same
+  convention SQL uses for NULL;
+* for transient faults the stub is *inserted*: the element whose pull
+  failed is still delivered by the next pull, so stripping the stubs
+  from a degraded result yields exactly the fault-free result.
+"""
+
+from __future__ import annotations
+
+from repro.xmltree.tree import Node, OidGenerator
+
+#: Label of the degradation stub element.
+ERROR_LABEL = "mix:error"
+
+_STUB_OIDS = OidGenerator("err")
+
+
+def make_error_stub(source=None, reason=None, oids=None):
+    """Build a ``<mix:error>`` stub element.
+
+    Args:
+        source: the name/doc id of the source that failed.
+        reason: a human-readable failure description (usually the
+            exception message).
+        oids: the :class:`OidGenerator` to draw vertex ids from; a
+            module-level generator is used when omitted, so stubs are
+            deterministic within a process.
+    """
+    gen = oids or _STUB_OIDS
+    stub = Node(gen.fresh(), ERROR_LABEL)
+    if source is not None:
+        field = Node(gen.fresh(), "source")
+        field.append(Node(gen.fresh(), str(source)))
+        stub.append(field)
+    if reason is not None:
+        field = Node(gen.fresh(), "reason")
+        field.append(Node(gen.fresh(), str(reason)))
+        stub.append(field)
+    return stub
+
+
+def stub_for_error(exc, source=None, oids=None):
+    """A stub describing ``exc`` (uses the error's own source when set)."""
+    name = source
+    if name is None:
+        name = getattr(exc, "source", None) or getattr(exc, "doc_id", None)
+    return make_error_stub(source=name, reason=str(exc), oids=oids)
+
+
+def is_error_stub(node):
+    """Whether ``node`` is a degradation stub."""
+    return isinstance(node, Node) and node.label == ERROR_LABEL
+
+
+def find_error_stubs(root):
+    """All stub nodes in the tree rooted at ``root`` (forces it)."""
+    return [n for n in root.iter_subtree() if is_error_stub(n)]
+
+
+def strip_error_stubs(root):
+    """A copy of the tree with every ``<mix:error>`` subtree removed.
+
+    The root itself is returned unchanged if it is a stub (a client that
+    degraded all the way to the root keeps the marker).
+    """
+    if is_error_stub(root) or root.is_leaf:
+        return root
+    kept = [
+        strip_error_stubs(c) for c in root.children if not is_error_stub(c)
+    ]
+    return Node(root.oid, root.label, kept)

@@ -41,11 +41,16 @@ class Source:
     def execute_sql(self, sql):
         """Run pushed-down SQL; returns a cursor.  Relational only."""
         raise SourceError(
-            "{} does not accept SQL".format(type(self).__name__)
+            "{} does not accept SQL: {!r}".format(type(self).__name__, sql),
+            sql=sql,
+            source=type(self).__name__,
         )
 
     def describe_table(self, table_name):
         """Schema of an exported table (relational only)."""
         raise SourceError(
-            "{} has no relational schema".format(type(self).__name__)
+            "{} has no relational schema (table {!r})".format(
+                type(self).__name__, table_name
+            ),
+            source=type(self).__name__,
         )

@@ -46,7 +46,9 @@ class SourceCatalog:
             raise UnknownSourceError(
                 "no source exports document {!r} (known: {})".format(
                     doc_id, sorted(self._documents)
-                )
+                ),
+                doc_id=_normalize(doc_id),
+                known=sorted(self._documents),
             )
 
     def server(self, name):
@@ -56,7 +58,8 @@ class SourceCatalog:
             raise UnknownSourceError(
                 "no relational server {!r} (known: {})".format(
                     name, sorted(self._servers)
-                )
+                ),
+                known=sorted(self._servers),
             )
 
     def has_document(self, doc_id):
@@ -64,6 +67,16 @@ class SourceCatalog:
 
     def document_ids(self):
         return sorted(self._documents)
+
+    def sources(self):
+        """The distinct registered source objects, in registration order."""
+        seen = []
+        for source in list(self._documents.values()) + list(
+            self._servers.values()
+        ):
+            if not any(s is source for s in seen):
+                seen.append(source)
+        return seen
 
     # -- engine conveniences ------------------------------------------------------------
 

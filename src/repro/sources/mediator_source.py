@@ -57,9 +57,13 @@ class MediatorSource(Source):
     def _root(self, doc_id):
         if doc_id not in self._views:
             raise SourceError(
-                "mediator source exports no view {!r}".format(doc_id)
+                "mediator source exports no view {!r}".format(doc_id),
+                doc_id=doc_id,
+                source=type(self).__name__,
             )
         if doc_id not in self._roots:
+            # Cache only after the lower query succeeded; a failed run
+            # leaves no entry, so the next access retries cleanly.
             self._roots[doc_id] = self.mediator.query(self._views[doc_id])
         return self._roots[doc_id]
 
@@ -71,16 +75,23 @@ class MediatorSource(Source):
         def pull(move):
             # Each lower-mediator navigation that lands on a node is one
             # forwarded command; the span ties it to the upper command
-            # that demanded it.
-            if stats is None:
-                return move()
-            with stats.operator_span(
-                "medsrc({})".format(doc_id), key=span_key, kind="source"
-            ):
-                node = move()
-                if node is not None:
-                    stats.incr(statnames.SOURCE_NAVIGATIONS)
-                return node
+            # that demanded it.  A failing navigation invalidates the
+            # cached root: the lower view's lazy stream is broken by the
+            # escaped exception, and reusing it would silently truncate
+            # later fetches (a poisoned cache entry).
+            try:
+                if stats is None:
+                    return move()
+                with stats.operator_span(
+                    "medsrc({})".format(doc_id), key=span_key, kind="source"
+                ):
+                    node = move()
+                    if node is not None:
+                        stats.incr(statnames.SOURCE_NAVIGATIONS)
+                    return node
+            except Exception:
+                self.invalidate(doc_id)
+                raise
 
         node = pull(lambda: self._root(doc_id).d())
         while node is not None:

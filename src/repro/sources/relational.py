@@ -60,7 +60,11 @@ class RelationalWrapper(Source):
             return self._documents[doc_id]
         except KeyError:
             raise SourceError(
-                "wrapper exports no document {!r}".format(doc_id)
+                "wrapper {!r} exports no document {!r}".format(
+                    self.server_name, doc_id
+                ),
+                doc_id=doc_id,
+                source=self.server_name,
             )
 
     # -- Source interface -----------------------------------------------------------
@@ -152,14 +156,18 @@ class RelationalWrapper(Source):
         """Decode a tuple-object oid back to its key values."""
         schema = self.database.table(table_name).schema
         if not str(oid).startswith("&"):
-            raise SourceError("not a wrapper oid: {!r}".format(oid))
+            raise SourceError(
+                "not a wrapper oid: {!r}".format(oid),
+                source=self.server_name,
+            )
         parts = str(oid)[1:].split("/")
         key_idx = schema.key_indexes()
         if len(parts) != len(key_idx):
             raise SourceError(
                 "oid {!r} does not match the key of {!r}".format(
                     oid, table_name
-                )
+                ),
+                source=self.server_name,
             )
         return [
             schema.columns[i].type.accept(part)

@@ -50,10 +50,16 @@ class XmlFileSource(Source):
         if doc_id in self._trees:
             return self._trees[doc_id]
         if doc_id not in self._texts:
-            raise SourceError("no document {!r}".format(doc_id))
+            raise SourceError(
+                "no document {!r}".format(doc_id), doc_id=doc_id,
+                source=type(self).__name__,
+            )
         if self._stats is not None:
             self._stats.incr(DOC_FETCHES)
             self._stats.event("doc_fetch", doc_id)
+        # The cache entry is written only after a successful parse: a
+        # failed fetch leaves no poisoned entry behind, so the next
+        # access retries from the registered text.
         tree = parse_xml(self._texts[doc_id])
         self._trees[doc_id] = tree  # one-step fetch, then cached
         return tree

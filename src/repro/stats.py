@@ -40,3 +40,9 @@ BUFFERED_TUPLES = "buffered_tuples"    # peak tuples buffered by stateful ops
 INDEX_LOOKUPS = "index_lookups"        # secondary-index probes in the DB
 RQ_STATEMENTS = "rq_statements"        # SQL pushed by rQ plan operators
 QDOM_COMMANDS = "qdom_commands"        # navigation commands entering the mediator
+SOURCE_RETRIES = "source_retries"      # retried source calls/pulls (resilience)
+SOURCE_TIMEOUTS = "source_timeouts"    # source calls over their latency budget
+SOURCE_FAILURES = "source_failures"    # failed source calls/pulls (pre-retry)
+BREAKER_TRANSITIONS = "breaker_transitions"  # circuit-breaker state changes
+DEGRADED_RESULTS = "degraded_results"  # <mix:error> stubs substituted
+FAULTS_INJECTED = "faults_injected"    # faults fired by FaultInjectingSource

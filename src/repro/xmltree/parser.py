@@ -99,7 +99,10 @@ def _coerce_scalar(text):
 
     Coercion is gated by an explicit digit pattern rather than
     ``float(...)`` alone: Python also accepts spellings like ``"INF"``
-    and ``"nan"``, which must stay text.
+    and ``"nan"``, which must stay text.  It is additionally gated on
+    the round trip: a spelling the number would not serialize back to
+    (``0E0``, ``007``, ``1.50``) stays text, so parse→serialize→parse
+    is the identity on leaf values.
     """
     global _NUMERIC_RE
     if _NUMERIC_RE is None:
@@ -111,14 +114,14 @@ def _coerce_scalar(text):
     stripped = text.strip()
     if not _NUMERIC_RE.match(stripped):
         return text
-    try:
-        return int(stripped)
-    except ValueError:
-        pass
-    try:
-        return float(stripped)
-    except ValueError:
-        return text
+    for convert in (int, float):
+        try:
+            coerced = convert(stripped)
+        except ValueError:
+            continue
+        if str(coerced) == stripped:
+            return coerced
+    return text
 
 
 class XmlParser:

@@ -1,0 +1,75 @@
+"""Shared helpers for the resilience suite.
+
+``MIX_FAULT_SEED`` (the CI fault-injection matrix variable) selects the
+seed the probabilistic fault schedules run under; every test must pass
+for any seed.  All timing in this suite runs on
+:class:`~repro.resilience.ManualClock` — no real sleeps anywhere.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import TransientSourceError
+from repro.sources.base import Source
+from repro.xmltree.tree import Node, OidGenerator
+
+#: The CI matrix seed (three fixed seeds in .github/workflows/ci.yml).
+FAULT_SEED = int(os.environ.get("MIX_FAULT_SEED", "0"))
+
+
+@pytest.fixture
+def fault_seed():
+    return FAULT_SEED
+
+
+class FlakyListSource(Source):
+    """A generator-backed source whose iterator dies on failure.
+
+    Unlike :class:`~repro.resilience.FaultInjectingSource`'s retry-safe
+    iterator, this source's :meth:`iter_document_children` is a plain
+    generator: once it raises, the generator is dead and yields only
+    ``StopIteration`` — the case ``ResilientSource`` must handle by
+    reopening the stream and fast-forwarding.  ``fail_at``/``fail_times``
+    state lives on the source, so a reopened stream sees the remaining
+    budget.
+    """
+
+    def __init__(self, doc_id, labels, fail_at=None, fail_times=1,
+                 exc_factory=None):
+        self.doc_id = doc_id
+        self.labels = list(labels)
+        self.fail_at = fail_at
+        self.fail_times = fail_times
+        self.opens = 0
+        self._exc_factory = exc_factory or (
+            lambda pos: TransientSourceError(
+                "flaky pull at {}".format(pos),
+                doc_id=self.doc_id, source="flaky",
+            )
+        )
+        self._oids = OidGenerator("fk")
+
+    def document_ids(self):
+        return [self.doc_id]
+
+    def _element(self, label):
+        element = Node(self._oids.fresh(), label)
+        element.append(Node(self._oids.fresh(), "v-" + label))
+        return element
+
+    def iter_document_children(self, doc_id):
+        self.opens += 1
+        for position, label in enumerate(self.labels):
+            if position == self.fail_at and self.fail_times > 0:
+                self.fail_times -= 1
+                raise self._exc_factory(position)
+            yield self._element(label)
+
+    def materialize_document(self, doc_id):
+        root = Node("&{}".format(doc_id), "list")
+        for child in self.iter_document_children(doc_id):
+            root.append(child)
+        return root

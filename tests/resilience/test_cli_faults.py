@@ -1,0 +1,72 @@
+"""The ``--fault-profile`` CLI flag (demo and explain)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestDemoProfiles:
+    def test_transient_profile_retries_and_completes(self, capsys):
+        assert main(["demo", "--fault-profile=transient"]) == 0
+        out = capsys.readouterr().out
+        assert "fault profile 'transient'" in out
+        assert "faults_injected=" in out
+        assert "source_retries=" in out
+        # The retry budget absorbs every transient fault: no stubs.
+        assert "degraded_stubs=0" in out
+
+    def test_slow_profile_reports_timeouts(self, capsys):
+        assert main(["demo", "--fault-profile=slow"]) == 0
+        out = capsys.readouterr().out
+        assert "source_timeouts=2" in out
+        assert "degraded_stubs=0" in out  # late values are re-delivered
+
+    def test_outage_profile_trips_the_breaker(self, capsys):
+        assert main(["demo", "--fault-profile=outage"]) == 0
+        out = capsys.readouterr().out
+        assert "mix:error" in out
+        assert "closed->open" in out
+        assert "'breaker': 'open'" in out
+
+    def test_seed_changes_the_transient_schedule(self, capsys):
+        outputs = set()
+        for seed in range(4):
+            assert main(
+                ["demo", "--fault-profile=transient",
+                 "--fault-seed={}".format(seed)]
+            ) == 0
+            outputs.add(capsys.readouterr().out)
+        assert len(outputs) > 1
+
+    def test_plain_demo_is_unchanged(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "p1 = d(p0)" in out
+        assert "faults_injected" not in out
+
+
+class TestExplainProfiles:
+    def test_explain_carries_resilience_footer(self, capsys):
+        assert main(["explain", "--fault-profile=transient"]) == 0
+        out = capsys.readouterr().out
+        assert "-- resilience[s]:" in out
+
+    def test_explain_outage_shows_breaker_state(self, capsys):
+        assert main(["explain", "--fault-profile=outage"]) == 0
+        out = capsys.readouterr().out
+        assert "breaker=open" in out
+        assert "transitions=closed->open" in out
+
+    def test_plain_explain_has_no_resilience_footer(self, capsys):
+        assert main(["explain"]) == 0
+        assert "-- resilience[" not in capsys.readouterr().out
+
+
+class TestBadOptions:
+    def test_unknown_profile_exits(self):
+        with pytest.raises(SystemExit):
+            main(["demo", "--fault-profile=bogus"])
+
+    def test_usage_mentions_the_flag(self, capsys):
+        assert main([]) == 2
+        assert "--fault-profile=" in capsys.readouterr().out

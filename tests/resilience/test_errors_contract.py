@@ -1,0 +1,90 @@
+"""The ``repro.errors`` hierarchy contract.
+
+Every error is catchable as :class:`MixError`, survives a pickle
+round-trip with its payload attributes intact, and has a clean
+``repr``/``str`` — clients (and multiprocess harnesses) depend on all
+three.
+"""
+
+import pickle
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.MixError("boom"),
+    errors.ParseError("bad input", text="FOR $", position=4),
+    errors.XmlParseError("bad xml", text="<a", position=2),
+    errors.SqlError("bad sql"),
+    errors.SqlParseError("bad statement", text="SELEC", position=0),
+    errors.SchemaError("no such table"),
+    errors.TypeMismatchError("TEXT vs INT"),
+    errors.IntegrityError("duplicate key"),
+    errors.XQueryParseError("bad query", text="FOR", position=3),
+    errors.TranslationError("untranslatable"),
+    errors.PlanError("malformed plan"),
+    errors.EvaluationError("cannot evaluate"),
+    errors.NavigationError("no such move"),
+    errors.RewriteError("rule failed"),
+    errors.CompositionError("cyclic views"),
+    errors.SourceError("read failed", doc_id="root1", sql="SELECT 1",
+                       source="s"),
+    errors.UnknownSourceError("no such document", doc_id="rootX",
+                              known=("root1", "root2")),
+    errors.TransientSourceError("try again", doc_id="root1", source="s"),
+    errors.SourceTimeoutError("too slow", doc_id="root1", source="s",
+                              limit=0.25, elapsed=0.4),
+    errors.CircuitOpenError("out of service", source="s", retry_after=5.0),
+]
+
+PAYLOAD_ATTRS = (
+    "doc_id", "sql", "source", "known", "limit", "elapsed",
+    "retry_after", "text", "position",
+)
+
+
+@pytest.mark.parametrize(
+    "exc", ALL_ERRORS, ids=[type(e).__name__ for e in ALL_ERRORS]
+)
+class TestErrorContract:
+    def test_catchable_as_mix_error(self, exc):
+        with pytest.raises(errors.MixError):
+            raise exc
+
+    def test_pickle_round_trip_preserves_payload(self, exc):
+        clone = pickle.loads(pickle.dumps(exc))
+        assert type(clone) is type(exc)
+        assert str(clone) == str(exc)
+        for attr in PAYLOAD_ATTRS:
+            assert getattr(clone, attr, None) == getattr(exc, attr, None)
+
+    def test_repr_and_str_are_clean(self, exc):
+        assert type(exc).__name__ in repr(exc)
+        assert str(exc)  # non-empty message
+
+
+class TestHierarchy:
+    def test_resilience_errors_are_source_errors(self):
+        assert issubclass(errors.TransientSourceError, errors.SourceError)
+        assert issubclass(
+            errors.SourceTimeoutError, errors.TransientSourceError
+        )
+        assert issubclass(errors.CircuitOpenError, errors.SourceError)
+        assert not issubclass(
+            errors.CircuitOpenError, errors.TransientSourceError
+        )  # an open breaker is not retryable
+        assert issubclass(errors.UnknownSourceError, errors.SourceError)
+
+    def test_unknown_source_error_carries_known_names(self):
+        exc = errors.UnknownSourceError(
+            "no such document", doc_id="rootX", known=("root1", "root2")
+        )
+        assert exc.doc_id == "rootX"
+        assert tuple(exc.known) == ("root1", "root2")
+
+    def test_sql_parse_error_is_both_parse_and_sql(self):
+        exc = errors.SqlParseError("bad", text="SELEC", position=0)
+        assert isinstance(exc, errors.ParseError)
+        assert isinstance(exc, errors.SqlError)
