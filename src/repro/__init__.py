@@ -24,7 +24,10 @@ paper, from scratch:
 * :mod:`repro.resilience` — the fault-tolerant source layer:
   deterministic fault injection, retry/timeout/circuit-breaker policies
   (:class:`~repro.resilience.ResilientSource`), and partial-result
-  degradation via ``<mix:error>`` stubs.
+  degradation via ``<mix:error>`` stubs;
+* :mod:`repro.cache` — the multi-level query cache: compiled-plan
+  cache, pushed-SQL result cache, and navigation memo, all bounded LRU
+  with exact version-based invalidation (``Mediator(cache=True)``).
 
 Quickstart::
 
@@ -87,11 +90,13 @@ from repro.resilience import (
     Timeout,
 )
 from repro.rewriter import Rewriter, push_to_sources
+from repro.cache import CacheManager, LRUCache, SqlResultCache
 from repro.qdom import Mediator, QdomNode
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CacheManager",
     "CircuitBreaker",
     "CircuitOpenError",
     "CompositionError",
@@ -100,6 +105,7 @@ __all__ = [
     "EvaluationError",
     "FaultInjectingSource",
     "Instrument",
+    "LRUCache",
     "LazyEngine",
     "ManualClock",
     "Mediator",
@@ -118,6 +124,7 @@ __all__ = [
     "SourceTimeoutError",
     "Span",
     "SqlError",
+    "SqlResultCache",
     "StatsRegistry",
     "Timeout",
     "TransientSourceError",

@@ -23,6 +23,10 @@ Fig. 2 wrapper, and switches the mediator to partial-result degradation:
 * ``outage``    — a permanent failure that trips the circuit breaker.
 
 All profile timing runs on a manual clock: no real sleeps.
+
+The multi-level query cache (plan / pushed-SQL / navigation, see
+:mod:`repro.cache`) is **on** for CLI runs; ``--no-cache`` switches it
+off and ``--cache-size=N`` bounds each level (``0`` also disables).
 """
 
 from __future__ import annotations
@@ -32,7 +36,8 @@ import sys
 FAULT_PROFILES = ("transient", "slow", "outage")
 
 
-def _paper_mediator(fault_profile=None, fault_seed=0):
+def _paper_mediator(fault_profile=None, fault_seed=0, cache=True,
+                    cache_size=128):
     from repro import Database, Instrument, Mediator, RelationalWrapper
 
     stats = Instrument()
@@ -51,12 +56,16 @@ def _paper_mediator(fault_profile=None, fault_seed=0):
         .register_document("root2", "orders", element_label="order")
     )
     if fault_profile is None:
-        return stats, Mediator(stats=stats).add_source(wrapper)
+        mediator = Mediator(stats=stats, cache=cache, cache_size=cache_size)
+        return stats, mediator.add_source(wrapper)
     source = _faulty_source(wrapper, fault_profile, fault_seed, stats)
     # SQL push-down off: the demo should *navigate* the faulty source,
     # so the injected pull faults (and their recovery) actually fire.
+    # The cache stays on when asked: the degrade policy automatically
+    # keeps poisoned answers out of the navigation memo.
     mediator = Mediator(
-        stats=stats, push_sql=False, on_source_error="degrade"
+        stats=stats, push_sql=False, on_source_error="degrade",
+        cache=cache, cache_size=cache_size,
     )
     return stats, mediator.add_source(source)
 
@@ -136,6 +145,21 @@ def _fault_options(args):
     return profile, int(seed or 0), args
 
 
+def _cache_options(args):
+    """Extract ``--no-cache`` / ``--cache-size=N`` (CLI default: on)."""
+    cache = "--no-cache" not in args
+    args = [arg for arg in args if arg != "--no-cache"]
+    size, args = _pop_option(args, "--cache-size")
+    try:
+        size = 128 if size is None else int(size)
+    except ValueError:
+        raise SystemExit("--cache-size expects an integer, got {!r}".format(
+            size))
+    if size < 0:
+        raise SystemExit("--cache-size must be >= 0, got {}".format(size))
+    return cache, size, args
+
+
 Q1 = """
 FOR $C IN source(root1)/customer
     $O IN document(root2)/order
@@ -147,8 +171,10 @@ RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}
 def cmd_demo(args=()):
     """Example 2.1, command for command, with traffic counters."""
     profile, seed, args = _fault_options(list(args))
+    cache, cache_size, args = _cache_options(args)
     stats, mediator = _paper_mediator(
-        fault_profile=profile, fault_seed=seed
+        fault_profile=profile, fault_seed=seed,
+        cache=cache, cache_size=cache_size,
     )
     if profile is not None:
         # The scripted Example 2.1 walk assumes every step lands on a
@@ -257,6 +283,7 @@ def cmd_explain(args=()):
     while "--json" in args:
         args.remove("--json")
     profile, seed, args = _fault_options(args)
+    cache, cache_size, args = _cache_options(args)
     query = Q1
     if args:
         try:
@@ -266,7 +293,10 @@ def cmd_explain(args=()):
             print("explain: cannot read {}: {}".format(args[0], exc),
                   file=sys.stderr)
             return 1
-    __, mediator = _paper_mediator(fault_profile=profile, fault_seed=seed)
+    __, mediator = _paper_mediator(
+        fault_profile=profile, fault_seed=seed,
+        cache=cache, cache_size=cache_size,
+    )
     try:
         print(mediator.explain(query))
     except MixError as exc:
@@ -294,7 +324,7 @@ def main(argv=None):
         print(__doc__)
         print("usage: python -m repro {demo|figures|bench|explain}"
               " [--fault-profile=" + "|".join(FAULT_PROFILES) +
-              "] [--fault-seed=N]")
+              "] [--fault-seed=N] [--no-cache] [--cache-size=N]")
         return 2
     return commands[argv[0]](argv[1:])
 

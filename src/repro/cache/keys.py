@@ -1,0 +1,71 @@
+"""Cache keys and validity fingerprints.
+
+A cache in this stack is only allowed to be *exactly* right: every key
+binds the question (normalized query or SQL text) together with a
+fingerprint of everything the answer depends on, and every fingerprint
+is version-based — never time-based.
+
+* :func:`normalize_query` — whitespace-insensitive identity of an XQuery
+  (parsed ASTs are rendered through the printer first, so a text query
+  and its AST share one cache line);
+* :func:`catalog_shape` — which documents and SQL servers the mediator
+  can see (a new ``add_source`` changes the plans a query may compile
+  to);
+* :func:`data_fingerprint` — the write-versions of every registered
+  source, or ``None`` when any source cannot version its data (an
+  unversioned source makes result reuse unsound, so callers skip the
+  navigation memo entirely in that case).
+"""
+
+from __future__ import annotations
+
+
+def normalize_query(query_text):
+    """A whitespace-collapsed identity for an XQuery text or AST.
+
+    Returns ``None`` for objects that cannot be rendered back to text —
+    such queries simply bypass the plan cache.
+    """
+    if not isinstance(query_text, str):
+        try:
+            from repro.xquery.printer import render_query
+
+            query_text = render_query(query_text)
+        except Exception:
+            return None
+    return " ".join(query_text.split())
+
+
+def normalize_sql(sql):
+    """Whitespace-collapsed identity for a pushed SQL statement."""
+    return " ".join(str(sql).split())
+
+
+def catalog_shape(catalog):
+    """What the catalog exports: the part of a plan key owned by it."""
+    return tuple(catalog.document_ids())
+
+
+def source_data_version(source):
+    """``source.data_version()`` when the source provides one, else
+    ``None`` (unversioned)."""
+    fn = getattr(source, "data_version", None)
+    if not callable(fn):
+        return None
+    return fn()
+
+
+def data_fingerprint(catalog):
+    """Combined write-version of every source, or ``None``.
+
+    ``None`` means at least one source cannot report a data version;
+    result-level caches must then treat every entry as unverifiable and
+    recompute.
+    """
+    versions = []
+    for source in catalog.sources():
+        version = source_data_version(source)
+        if version is None:
+            return None
+        versions.append(version)
+    return tuple(versions)

@@ -1,0 +1,138 @@
+"""The mediator-side caches: compiled plans and navigable results.
+
+One :class:`CacheManager` per :class:`~repro.qdom.Mediator` owns:
+
+* the **plan cache** — normalized query text + catalog/view fingerprint
+  to the ``(executable_plan, compose_plan)`` pair that
+  parse → translate → rewrite → SQL-split produced.  Plans carry no
+  data, so a plan entry is valid until the catalog's shape or the view
+  definitions change (both are part of the key; ``define_view``
+  additionally clears the caches so redefinitions are counted as
+  invalidations, not silent key churn);
+* the **navigation memo** — the same key plus the catalog's *data*
+  fingerprint to the root :class:`~repro.xmltree.tree.Node` of a
+  previous answer.  Because lazy results memoize materialized prefixes
+  in place, a memo hit shares every child list one session already
+  forced with the next session over the same view — repeated queries
+  ship zero tuples.
+
+The memo is the correctness-critical one, so it is fenced three ways:
+
+* entries are stored and served only under ``on_source_error="raise"``
+  — degraded runs can substitute ``<mix:error>`` stubs lazily, and a
+  stub must never be served from cache (the resilience contract);
+* entries die when the data fingerprint moves (any write to any
+  registered source) or cannot be computed (an unversioned source);
+* entries die when the mediator has observed *any* source failure,
+  timeout, or degradation since the entry was stored (the failure
+  epoch), and as a final belt a hit re-scans the already-materialized
+  prefix for stubs before serving.
+"""
+
+from __future__ import annotations
+
+from repro import stats as statnames
+from repro.cache.keys import data_fingerprint
+from repro.cache.lru import LRUCache
+from repro.resilience.stub import PrefixPoisonWatch
+
+
+class _MemoEntry:
+    """A memoized answer plus everything needed to prove it still valid."""
+
+    __slots__ = ("root", "compose_plan", "fingerprint", "fail_epoch",
+                 "poison_watch")
+
+    def __init__(self, root, compose_plan, fingerprint, fail_epoch):
+        self.root = root
+        self.compose_plan = compose_plan
+        self.fingerprint = fingerprint
+        self.fail_epoch = fail_epoch
+        # Incremental poison check: re-validating a hit only scans tree
+        # growth since the last clean scan, not the whole answer.
+        self.poison_watch = PrefixPoisonWatch(root)
+
+
+class CacheManager:
+    """Plan cache + navigation memo for one mediator."""
+
+    def __init__(self, maxsize=128, obs=None):
+        self.obs = obs
+        self.plan_cache = LRUCache(maxsize, obs=obs, prefix="plan_cache")
+        self.nav_memo = LRUCache(maxsize, obs=obs, prefix="nav_memo")
+
+    # -- plan cache --------------------------------------------------------------------
+
+    def lookup_plan(self, key):
+        """``(hit, (exec_plan, compose_plan))`` for a plan key."""
+        return self.plan_cache.lookup(key)
+
+    def store_plan(self, key, exec_plan, compose_plan):
+        self.plan_cache.store(key, (exec_plan, compose_plan))
+
+    # -- navigation memo --------------------------------------------------------------
+
+    def _fail_epoch(self):
+        """Cumulative source trouble seen on this mediator's instrument.
+
+        Any movement between store and lookup may have left a lazily
+        truncated or degraded prefix inside a shared tree, so entries
+        from before the movement are discarded wholesale (conservative,
+        never stale).
+        """
+        if self.obs is None:
+            return 0
+        return (
+            self.obs.get(statnames.SOURCE_FAILURES)
+            + self.obs.get(statnames.SOURCE_TIMEOUTS)
+            + self.obs.get(statnames.DEGRADED_RESULTS)
+        )
+
+    def lookup_result(self, key, catalog):
+        """A still-valid :class:`_MemoEntry` for ``key``, or ``None``."""
+        fingerprint = data_fingerprint(catalog)
+        epoch = self._fail_epoch()
+
+        def validate(entry):
+            return (
+                fingerprint is not None
+                and entry.fingerprint == fingerprint
+                and entry.fail_epoch == epoch
+                and not entry.poison_watch.poisoned()
+            )
+
+        hit, entry = self.nav_memo.lookup(key, validate=validate)
+        return entry if hit else None
+
+    def store_result(self, key, root, compose_plan, catalog):
+        """Memoize an answer root; silently refused when the catalog
+        cannot fingerprint its data."""
+        fingerprint = data_fingerprint(catalog)
+        if fingerprint is None:
+            return False
+        self.nav_memo.store(
+            key,
+            _MemoEntry(root, compose_plan, fingerprint, self._fail_epoch()),
+        )
+        return True
+
+    def memo_roots(self):
+        """The memoized result roots (test/poison inspection)."""
+        return [entry.root for entry in self.nav_memo.values()]
+
+    # -- maintenance -------------------------------------------------------------------
+
+    def clear(self):
+        """Drop everything (each entry counts as one invalidation)."""
+        return self.plan_cache.clear() + self.nav_memo.clear()
+
+    def stats(self):
+        return {
+            "plan_cache": self.plan_cache.stats(),
+            "nav_memo": self.nav_memo.stats(),
+        }
+
+    def __repr__(self):
+        return "CacheManager(plan={!r}, nav={!r})".format(
+            self.plan_cache, self.nav_memo
+        )

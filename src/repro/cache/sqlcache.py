@@ -1,0 +1,154 @@
+"""The pushed-SQL result cache (keyed by SQL text + table write versions).
+
+The mediator's hottest source interaction is re-executing the same
+pushed ``rQ`` statement (Fig. 22) for a query it has answered before.
+:class:`SqlResultCache` sits between a wrapper's :meth:`execute_sql`
+and the database and serves the *full row list* of a previously
+exhausted cursor when — and only when — every table the statement reads
+is still at the write version it had when the rows were produced.
+
+Correctness rules:
+
+* **exact, version-based invalidation** — the key's fingerprint is the
+  ``(epoch, version)`` pair of each referenced table (see
+  :meth:`repro.relational.Database.table_versions`); any DML/DDL on a
+  referenced table bumps its version and the entry dies at the next
+  lookup.  Writes to *unreferenced* tables leave the entry alive.
+* **commit on exhaustion only** — rows are recorded as the real cursor
+  ships them, and the entry is committed only when the cursor runs to
+  completion *and* the fingerprint is still current.  A partially read
+  or closed cursor caches nothing; a statement that fails caches
+  nothing; a cursor that straddled a concurrent write caches nothing.
+  Degraded ``<mix:error>`` paths can therefore never poison this cache:
+  stubs are born from statements that raised, and raised statements
+  never commit.
+* **replayed rows are not source traffic** — a hit ships zero tuples
+  through the wrapper boundary; replayed rows count under
+  ``tuples_from_cache`` instead of ``tuples_shipped``, which is what the
+  warm-vs-cold experiments measure.
+"""
+
+from __future__ import annotations
+
+from repro import stats as statnames
+from repro.relational import ast
+from repro.relational.cursor import Cursor
+from repro.relational.parser import parse_sql
+from repro.cache.keys import normalize_sql
+from repro.cache.lru import LRUCache
+
+
+class _Entry:
+    """One cached result: the rows plus the versions they were read at."""
+
+    __slots__ = ("fingerprint", "column_names", "rows")
+
+    def __init__(self, fingerprint, column_names, rows):
+        self.fingerprint = fingerprint
+        self.column_names = list(column_names)
+        self.rows = tuple(rows)
+
+
+class SqlResultCache:
+    """A bounded LRU of fully fetched SELECT results.
+
+    Example::
+
+        cache = SqlResultCache(maxsize=64, obs=db.stats)
+        cursor = cache.execute(db, "SELECT * FROM customer")
+        cursor.fetchall()                       # miss: executes, records
+        cache.execute(db, "SELECT * FROM customer").fetchall()  # hit
+        db.run("INSERT INTO customer VALUES (...)")
+        cache.execute(db, "SELECT * FROM customer")  # invalidated: re-runs
+    """
+
+    def __init__(self, maxsize=128, obs=None, prefix="sql_cache"):
+        self._lru = LRUCache(maxsize, obs=obs, prefix=prefix)
+        self._tables_for = {}  # normalized sql -> tuple of table names
+
+    # -- key helpers ----------------------------------------------------------------
+
+    def _referenced_tables(self, key, sql):
+        tables = self._tables_for.get(key)
+        if tables is None:
+            stmt = parse_sql(sql)
+            if not isinstance(stmt, ast.SelectStmt):
+                return None  # only SELECTs are cacheable
+            tables = tuple(sorted({ref.table for ref in stmt.tables}))
+            if len(self._tables_for) > 4 * (self._lru.maxsize or 128):
+                self._tables_for.clear()  # bounded side map
+            self._tables_for[key] = tables
+        return tables
+
+    @staticmethod
+    def _fingerprint(database, tables):
+        """Current ``(epoch, version)`` per referenced table; ``None``
+        entries (dropped tables) can never match a stored fingerprint."""
+        versions = database.table_versions()
+        return tuple((name, versions.get(name)) for name in tables)
+
+    # -- the wrapper-facing call ------------------------------------------------------
+
+    def execute(self, database, sql):
+        """Serve ``sql`` from cache or execute-and-record through
+        ``database``; always returns a :class:`Cursor`."""
+        key = normalize_sql(sql)
+        tables = self._referenced_tables(key, sql)
+        if tables is None:
+            return database.execute(sql)
+        fingerprint = self._fingerprint(database, tables)
+        hit, entry = self._lru.lookup(
+            key, validate=lambda e: e.fingerprint == fingerprint
+        )
+        if hit:
+            database.stats.event("sql_cache_hit", key, database=database.name)
+            return self._replay(database, entry)
+        return self._record(database, sql, key, tables, fingerprint)
+
+    def _replay(self, database, entry):
+        def rows():
+            for row in entry.rows:
+                database.stats.incr(statnames.TUPLES_FROM_CACHE)
+                yield row
+
+        # stats=None: replayed rows never count as tuples_shipped — they
+        # do not cross the source boundary.
+        return Cursor(entry.column_names, rows(), stats=None)
+
+    def _record(self, database, sql, key, tables, fingerprint):
+        inner = database.execute(sql)
+
+        def rows():
+            acc = []
+            for row in inner:  # inner counts tuples_shipped as usual
+                acc.append(row)
+                yield row
+            # Exhausted: commit only if no referenced table moved while
+            # the cursor was open (a torn read must not be cached).
+            if self._fingerprint(database, tables) == fingerprint:
+                self._lru.store(
+                    key, _Entry(fingerprint, inner.column_names, acc)
+                )
+
+        return Cursor(inner.column_names, rows(), stats=None)
+
+    # -- maintenance / inspection -----------------------------------------------------
+
+    def clear(self):
+        return self._lru.clear()
+
+    def stats(self):
+        return self._lru.stats()
+
+    def entries(self):
+        """Live entries as ``(sql, rows)`` pairs (test inspection)."""
+        return [
+            (key, entry.rows)
+            for key, entry in zip(self._lru.keys(), self._lru.values())
+        ]
+
+    def __len__(self):
+        return len(self._lru)
+
+    def __repr__(self):
+        return "SqlResultCache({!r})".format(self._lru)

@@ -18,7 +18,6 @@ issued from this node.
 from __future__ import annotations
 
 from repro.errors import NavigationError
-from repro.xmltree.tree import Node
 from repro.algebra.values import Skolem
 from repro.stats import QDOM_COMMANDS
 
@@ -201,6 +200,12 @@ def walk_fully(vnode):
 
 
 def vnode_to_tree(vnode):
-    """Materialize the subtree at ``vnode`` into a plain Node tree."""
-    children = [vnode_to_tree(c) for c in vnode.children()]
-    return Node(vnode.node.oid, vnode.node.label, children)
+    """Materialize the subtree at ``vnode`` into a plain Node tree.
+
+    Materialization is a bulk export, not navigation: it forces the
+    underlying nodes directly rather than replaying one instrumented
+    QDOM command per child (``walk_fully`` does that).  Forcing still
+    pays for any source work a lazy tail owes, but exporting an
+    already-materialized answer — an eager result, or a navigation-memo
+    hit — costs only the tree copy."""
+    return vnode.node.copy_subtree()

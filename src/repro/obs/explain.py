@@ -80,11 +80,13 @@ def explain_analyze_with_trace(mediator, query_text, mask_times=False):
     from repro.engine.vtree import VNode, walk_fully
 
     instrument = Instrument()
-    plan = mediator.translate(query_text)
-    plan = mediator._expand_views(plan)
-    exec_plan, __ = mediator.optimize_plan(plan)
+    # Through the mediator's prepare() stage, so the plan cache is
+    # consulted exactly as a client query would (and the footer can
+    # say whether compilation was skipped).
+    exec_plan, __, plan_status = mediator.prepare(query_text)
     policy = getattr(mediator, "on_source_error", "raise")
     before = _resilience_snapshot(mediator.catalog)
+    cache_before = _cache_snapshot(mediator.catalog)
     with instrument.command_span(
         "explain", kind="explain", query=_clip(query_text)
     ):
@@ -101,6 +103,21 @@ def explain_analyze_with_trace(mediator, query_text, mask_times=False):
             engine.evaluate_tree(exec_plan)
         after = _resilience_snapshot(mediator.catalog)
         resilience = _resilience_deltas(before, after)
+        cache_deltas = _cache_deltas(
+            cache_before, _cache_snapshot(mediator.catalog)
+        )
+        instrument.event("cache", "plan_cache={}".format(plan_status))
+        for entry in cache_deltas:
+            # Inside the command span: the JSON trace export carries the
+            # per-source cache summary alongside the spans.
+            instrument.event(
+                "cache",
+                "hits={hits} misses={misses} evictions={evictions} "
+                "invalidations={invalidations} "
+                "tuples_shipped={tuples_shipped} "
+                "tuples_from_cache={tuples_from_cache}".format(**entry),
+                source=entry["source"],
+            )
         for entry in resilience:
             # Inside the command span, so the JSON trace export carries
             # the per-source resilience summary alongside the spans.
@@ -116,6 +133,14 @@ def explain_analyze_with_trace(mediator, query_text, mask_times=False):
     footer = "-- tuples={} rq_statements={}".format(
         instrument.get("operator_tuples"), instrument.get("rq_statements")
     )
+    footer += "\n-- plan_cache: {}".format(plan_status)
+    for entry in cache_deltas:
+        footer += (
+            "\n-- cache[{source}]: hits={hits} misses={misses} "
+            "evictions={evictions} invalidations={invalidations} "
+            "tuples_shipped={tuples_shipped} "
+            "tuples_from_cache={tuples_from_cache}".format(**entry)
+        )
     for entry in resilience:
         footer += (
             "\n-- resilience[{source}]: retries={retries} "
@@ -132,6 +157,39 @@ def explain_analyze_with_trace(mediator, query_text, mask_times=False):
 _HEALTH_COUNTERS = (
     "retries", "failures", "timeouts", "degraded", "circuit_rejections"
 )
+
+
+_CACHE_COUNTERS = (
+    "hits", "misses", "evictions", "invalidations",
+    "tuples_shipped", "tuples_from_cache",
+)
+
+
+def _cache_snapshot(catalog):
+    """Current SQL-cache health of every caching source in the catalog."""
+    sources_fn = getattr(catalog, "sources", None)
+    if sources_fn is None:
+        return {}
+    out = {}
+    for source in sources_fn():
+        health_fn = getattr(source, "sql_cache_health", None)
+        if callable(health_fn):
+            health = health_fn()
+            if health is not None:
+                out[health["source"]] = health
+    return out
+
+
+def _cache_deltas(before, after):
+    """What each source's result cache did during one evaluation."""
+    deltas = []
+    for name in after:
+        pre = before.get(name, {})
+        entry = {"source": name}
+        for counter in _CACHE_COUNTERS:
+            entry[counter] = after[name][counter] - pre.get(counter, 0)
+        deltas.append(entry)
+    return deltas
 
 
 def _resilience_snapshot(catalog):

@@ -15,6 +15,7 @@ import itertools
 
 from repro.errors import CompositionError
 from repro.algebra.plan import validate_plan
+from repro.cache.keys import catalog_shape, normalize_query
 from repro.algebra.translator import Translator
 from repro.composer import compose_at_root, decontextualize
 from repro.engine.lazy import LazyEngine
@@ -45,11 +46,18 @@ class Mediator:
             failures to the client; ``"degrade"`` substitutes
             ``<mix:error>`` stubs for failed subtrees so the rest of the
             answer stays navigable (partial results).
+        cache: enable the multi-level cache (plan cache + navigation
+            memo on the mediator, pushed-SQL result cache on every
+            relational source added afterwards).  Off by default; the
+            CLI turns it on.  Invalidation is version-based, never
+            time-based (see :mod:`repro.cache`).
+        cache_size: max entries per cache level; ``0`` disables caching
+            even when ``cache=True``.
     """
 
     def __init__(self, catalog=None, stats=None, optimize=True,
                  push_sql=True, lazy=True, dedup_groups=False,
-                 on_source_error="raise"):
+                 on_source_error="raise", cache=False, cache_size=128):
         if on_source_error not in ("raise", "degrade"):
             raise ValueError(
                 "on_source_error must be 'raise' or 'degrade', "
@@ -62,16 +70,33 @@ class Mediator:
         self.push_sql = push_sql
         self.lazy = lazy
         self.on_source_error = on_source_error
+        self.cache_size = cache_size
+        if cache and cache_size:
+            from repro.cache import CacheManager
+
+            self.cache = CacheManager(cache_size, obs=self.obs)
+        else:
+            self.cache = None
         self._translator = Translator(dedup_groups=dedup_groups)
         self._rewriter = Rewriter()
         self._view_ids = itertools.count(1)
         self._views = {}  # view name -> tD-rooted plan
+        self._views_epoch = 0  # bumped by define_view; part of plan keys
 
     # -- configuration ------------------------------------------------------------
 
     def add_source(self, source):
-        """Register a wrapped source (all its documents)."""
+        """Register a wrapped source (all its documents).
+
+        With caching enabled, relational sources get a pushed-SQL
+        result cache of the mediator's ``cache_size`` (counters on the
+        mediator's instrument).
+        """
         self.catalog.register(source)
+        if self.cache is not None:
+            enable = getattr(source, "enable_sql_cache", None)
+            if callable(enable):
+                enable(self.cache_size, obs=self.obs)
         return self
 
     def define_view(self, name, query_text):
@@ -99,6 +124,13 @@ class Mediator:
         )
         validate_plan(plan)
         self._views[name] = plan
+        # A (re)definition changes what every query over the view means:
+        # the epoch moves (old plan keys can never hit again) and live
+        # entries are dropped eagerly so the change is *counted* as
+        # invalidations rather than disappearing as silent key churn.
+        self._views_epoch += 1
+        if self.cache is not None:
+            self.cache.clear()
         return self
 
     def view_names(self):
@@ -133,13 +165,39 @@ class Mediator:
         Returns the root :class:`QdomNode` of the (virtual) answer.
         ``on_source_error`` overrides the mediator-wide failure policy
         for this one query (``"raise"`` or ``"degrade"``).
+
+        With caching enabled, the compiled plan is reused across
+        repeats of the same (normalized) query, and — under the strict
+        ``"raise"`` policy only — the answer's root is shared through
+        the navigation memo, so child lists one session materialized
+        are free for the next.  Degraded runs never touch the memo:
+        a ``<mix:error>`` stub must never be served from cache.
         """
+        policy = on_source_error or self.on_source_error
         with self.obs.command_span(
             "query", kind="query", query=_clip_query(query_text)
         ):
-            plan = self.translate(query_text)
-            plan = self._expand_views(plan)
-            return self._run(plan, on_source_error=on_source_error)
+            key = self._plan_key(query_text)
+            exec_plan, compose_plan, _status = self.prepare(query_text)
+            memo_ok = (
+                self.cache is not None
+                and key is not None
+                and policy == "raise"
+            )
+            if memo_ok:
+                entry = self.cache.lookup_result(key, self.catalog)
+                if entry is not None:
+                    return QdomNode(
+                        self,
+                        VNode.root(entry.root, obs=self.obs),
+                        entry.compose_plan,
+                    )
+            root = self._evaluate(exec_plan, policy)
+            if memo_ok:
+                self.cache.store_result(
+                    key, root, compose_plan, self.catalog
+                )
+            return QdomNode(self, VNode.root(root, obs=self.obs), compose_plan)
 
     def query_from(self, qdom_node, query_text):
         """Run an XQuery whose ``document(root)`` is ``qdom_node``.
@@ -169,6 +227,47 @@ class Mediator:
             return self._run(composed)
 
     # -- pipeline stages ----------------------------------------------------------------
+
+    def _plan_key(self, query_text):
+        """The plan-cache key for ``query_text``, or ``None`` when this
+        query cannot be cached (cache off, or unrenderable AST).
+
+        The key binds everything the compiled plan depends on: the
+        normalized query, the catalog's exported documents, the view
+        epoch, and the two pipeline switches.
+        """
+        if self.cache is None:
+            return None
+        normalized = normalize_query(query_text)
+        if normalized is None:
+            return None
+        return (
+            normalized,
+            catalog_shape(self.catalog),
+            self._views_epoch,
+            self.optimize,
+            self.push_sql,
+        )
+
+    def prepare(self, query_text):
+        """Compile ``query_text`` to ``(exec_plan, compose_plan, status)``.
+
+        ``status`` is ``"hit"``/``"miss"`` when the plan cache was
+        consulted, ``"off"`` when it was bypassed.  A hit skips
+        parse → translate → rewrite → SQL-split entirely.
+        """
+        key = self._plan_key(query_text)
+        if key is not None:
+            hit, cached = self.cache.lookup_plan(key)
+            if hit:
+                return cached[0], cached[1], "hit"
+        plan = self.translate(query_text)
+        plan = self._expand_views(plan)
+        exec_plan, compose_plan = self.optimize_plan(plan)
+        if key is not None:
+            self.cache.store_plan(key, exec_plan, compose_plan)
+            return exec_plan, compose_plan, "miss"
+        return exec_plan, compose_plan, "off"
 
     def translate(self, query_text, assign_root=True):
         """XQuery text (or parsed AST) to a validated XMAS plan."""
@@ -203,19 +302,23 @@ class Mediator:
         return plan, compose_plan
 
     def _run(self, plan, on_source_error=None):
+        """Optimize + evaluate an (already composed) plan.
+
+        Composed plans carry context from a live result handle, so they
+        bypass both mediator caches.
+        """
         exec_plan, compose_plan = self.optimize_plan(plan)
         policy = on_source_error or self.on_source_error
-        if self.lazy:
-            engine = LazyEngine(
-                self.catalog, stats=self.stats, on_source_error=policy
-            )
-            root = engine.evaluate_tree(exec_plan)
-        else:
-            engine = EagerEngine(
-                self.catalog, stats=self.stats, on_source_error=policy
-            )
-            root = engine.evaluate_tree(exec_plan)
+        root = self._evaluate(exec_plan, policy)
         return QdomNode(self, VNode.root(root, obs=self.obs), compose_plan)
+
+    def _evaluate(self, exec_plan, policy):
+        """Evaluate an executable plan to its answer root Node."""
+        engine_cls = LazyEngine if self.lazy else EagerEngine
+        engine = engine_cls(
+            self.catalog, stats=self.stats, on_source_error=policy
+        )
+        return engine.evaluate_tree(exec_plan)
 
     # -- observability ---------------------------------------------------------------
 
@@ -233,6 +336,26 @@ class Mediator:
     def last_trace(self):
         """The most recent completed trace on this mediator's bus."""
         return self.obs.last_trace()
+
+    def cache_stats(self):
+        """Counter snapshots of every cache level, or ``None`` when
+        caching is off.
+
+        ``plan_cache`` and ``nav_memo`` are this mediator's; ``sql``
+        lists one health dict per relational source with a result cache
+        (see :meth:`RelationalWrapper.sql_cache_health`).
+        """
+        if self.cache is None:
+            return None
+        snapshot = self.cache.stats()
+        snapshot["sql"] = []
+        for source in self.catalog.sources():
+            health = getattr(source, "sql_cache_health", None)
+            if callable(health):
+                report = health()
+                if report is not None:
+                    snapshot["sql"].append(report)
+        return snapshot
 
     def __repr__(self):
         return "Mediator(docs={})".format(self.catalog.document_ids())

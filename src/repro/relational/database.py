@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import itertools
+
 from repro import stats as statnames
 from repro.errors import SchemaError, SqlError
 from repro.relational import ast
@@ -30,6 +32,11 @@ class Database:
         self.name = name
         self.stats = stats or Instrument()
         self._tables = {}
+        # Table *epochs* make versions survive drop/recreate: a table
+        # recreated under an old name gets a fresh epoch from this
+        # monotone clock, so no cached fingerprint can ever match it.
+        self._epoch_clock = itertools.count(1)
+        self._epochs = {}
 
     # -- schema ---------------------------------------------------------------
 
@@ -42,11 +49,13 @@ class Database:
         )
         table = Table(schema, stats=self.stats)
         self._tables[name] = table
+        self._epochs[name] = next(self._epoch_clock)
         return table
 
     def drop_table(self, name):
         self.table(name)  # raises when absent
         del self._tables[name]
+        del self._epochs[name]
 
     def table(self, name):
         """The :class:`Table` called ``name`` (raises :class:`SchemaError`)."""
@@ -62,6 +71,21 @@ class Database:
 
     def has_table(self, name):
         return name in self._tables
+
+    def table_versions(self):
+        """``{table: (epoch, write_version)}`` for every live table.
+
+        The pair is the exact invalidation token of :mod:`repro.cache`:
+        ``write_version`` moves on every DML/DDL statement touching the
+        table (see :class:`~repro.relational.table.Table`), ``epoch``
+        moves when the table is dropped and recreated.  Reads never move
+        either, so a cache keyed on these tokens is invalidated by
+        writes and only by writes — never by time.
+        """
+        return {
+            name: (self._epochs[name], table.version)
+            for name, table in self._tables.items()
+        }
 
     # -- statement execution ----------------------------------------------------
 

@@ -20,6 +20,10 @@ class Table:
         self._stats = stats
         self._key_index = {} if schema.primary_key else None
         self._secondary = {}  # tuple(column names) -> {values: [positions]}
+        #: Monotone write version: every DML/DDL touching this table
+        #: bumps it, which is what the SQL result cache and the
+        #: navigation memo fingerprint (version-based invalidation).
+        self.version = 0
 
     def __len__(self):
         return len(self._rows)
@@ -40,6 +44,7 @@ class Table:
             self._key_index[key] = len(self._rows)
         position = len(self._rows)
         self._rows.append(row)
+        self.version += 1
         for columns, index in self._secondary.items():
             index.setdefault(self._index_key(columns, row), []).append(
                 position
@@ -55,7 +60,12 @@ class Table:
         return count
 
     def delete_where(self, predicate):
-        """Delete rows for which ``predicate(row)`` is true; returns count."""
+        """Delete rows for which ``predicate(row)`` is true; returns count.
+
+        The write version bumps whether or not rows matched — every DML
+        statement invalidates, which can only over-invalidate.
+        """
+        self.version += 1
         kept = [r for r in self._rows if not predicate(r)]
         removed = len(self._rows) - len(kept)
         if removed:
@@ -65,6 +75,7 @@ class Table:
 
     def update_where(self, predicate, updater):
         """Apply ``updater(row) -> new_row`` to matching rows."""
+        self.version += 1
         changed = 0
         new_rows = []
         for row in self._rows:
@@ -107,6 +118,7 @@ class Table:
             self.schema.column_index(name)  # validates
         if key not in self._secondary:
             self._secondary[key] = self._build_secondary(key)
+            self.version += 1  # DDL: cached plans over old physics expire
         return key
 
     def indexes(self):

@@ -34,6 +34,7 @@ from repro.resilience.stub import (
     find_error_stubs,
     is_error_stub,
     make_error_stub,
+    prefix_has_error_stub,
     strip_error_stubs,
     stub_for_error,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "find_error_stubs",
     "is_error_stub",
     "make_error_stub",
+    "prefix_has_error_stub",
     "strip_error_stubs",
     "stub_for_error",
 ]

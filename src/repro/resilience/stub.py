@@ -79,6 +79,90 @@ def find_error_stubs(root):
     return [n for n in root.iter_subtree() if is_error_stub(n)]
 
 
+def prefix_has_error_stub(root):
+    """Whether the *already materialized* part of ``root`` is poisoned:
+    a ``<mix:error>`` stub, or a node whose lazy tail raised (broken).
+
+    Walks only children that navigation has forced so far — nothing is
+    pulled, so this is safe on live lazy trees.  The navigation memo
+    uses it as a poison check: a degraded or failure-truncated prefix
+    disqualifies a cached result even if the damage happened after the
+    entry was stored.
+    """
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if is_error_stub(node) or getattr(node, "is_broken", False):
+            return True
+        stack.extend(node.materialized_children())
+    return False
+
+
+class PrefixPoisonWatch:
+    """Incremental :func:`prefix_has_error_stub` over a growing tree.
+
+    The navigation memo re-checks an entry's tree on every hit, and a
+    full re-scan is O(answer size) — it dominates a warm repeat.  But a
+    clean prefix stays clean: labels never change, and new nodes can
+    only appear past a node whose lazy tail was still open.  So a clean
+    scan records that *frontier* — ``(node, children_seen)`` for every
+    node not yet fully materialized — and the next scan resumes there,
+    visiting only growth since last time.  Once the tree is fully
+    materialized the frontier is empty and re-checks cost nothing.
+
+    Poison latches: a tree once poisoned never becomes clean again (a
+    broken tail never resumes; a stub never changes label).
+    """
+
+    __slots__ = ("_root", "_frontier", "_poisoned")
+
+    def __init__(self, root):
+        self._root = root
+        self._frontier = None          # None = never scanned
+        self._poisoned = False
+
+    def _scan_subtree(self, node, frontier):
+        """Full scan of a first-seen subtree's materialized prefix;
+        collects open-tailed nodes into ``frontier``."""
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if is_error_stub(current) or getattr(
+                current, "is_broken", False
+            ):
+                return True
+            kids = current.materialized_children()
+            if not getattr(current, "fully_materialized", True):
+                frontier.append((current, len(kids)))
+            stack.extend(kids)
+        return False
+
+    def poisoned(self):
+        """Whether the materialized prefix is poisoned (never forces)."""
+        if self._poisoned:
+            return True
+        frontier = []
+        if self._frontier is None:
+            self._poisoned = self._scan_subtree(self._root, frontier)
+        else:
+            for node, seen in self._frontier:
+                if getattr(node, "is_broken", False):
+                    self._poisoned = True
+                    break
+                kids = node.materialized_children()
+                for child in kids[seen:]:
+                    if self._scan_subtree(child, frontier):
+                        self._poisoned = True
+                        break
+                if self._poisoned:
+                    break
+                if not getattr(node, "fully_materialized", True):
+                    frontier.append((node, len(kids)))
+        if not self._poisoned:
+            self._frontier = frontier
+        return self._poisoned
+
+
 def strip_error_stubs(root):
     """A copy of the tree with every ``<mix:error>`` subtree removed.
 

@@ -20,6 +20,17 @@ class Source:
 
     Relational wrappers additionally accept pushed-down SQL via
     :meth:`execute_sql`.
+
+    Sources that can version their data implement ``data_version()``
+    returning a hashable token that changes on every write (the
+    relational wrapper derives it from per-table write versions, the
+    XML source from its registration epoch).  The method is looked up
+    with ``getattr`` rather than defined here so that decorating
+    proxies (:class:`~repro.resilience.ResilientSource`,
+    :class:`~repro.resilience.FaultInjectingSource`) delegate it to
+    their inner source automatically via ``__getattr__``; a source
+    without the method is treated as unversioned and excluded from
+    result-level caching.
     """
 
     def document_ids(self):

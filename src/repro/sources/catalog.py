@@ -78,6 +78,16 @@ class SourceCatalog:
                 seen.append(source)
         return seen
 
+    def data_fingerprint(self):
+        """Combined write-version of every registered source.
+
+        ``None`` when any source is unversioned — see
+        :func:`repro.cache.keys.data_fingerprint`.
+        """
+        from repro.cache.keys import data_fingerprint
+
+        return data_fingerprint(self)
+
     # -- engine conveniences ------------------------------------------------------------
 
     def iter_children(self, doc_id):

@@ -111,6 +111,12 @@ class MediatorSource(Source):
         else:
             self._roots.pop(doc_id, None)
 
+    def data_version(self):
+        """Deliberately unversioned (``None``): the lower mediator's
+        sources can change without this wrapper noticing, so result
+        caches above must treat its data as always-possibly-stale."""
+        return None
+
 
 def _qdom_to_node(qdom_node):
     """A lazily materializing Node mirror of a QDOM subtree.

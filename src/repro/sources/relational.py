@@ -35,6 +35,55 @@ class RelationalWrapper(Source):
         self.server_name = server_name
         self._documents = {}  # doc_id -> (table name, element label)
         self._oids = OidGenerator("w")
+        self._sql_cache = None
+
+    # -- result caching ----------------------------------------------------------
+
+    def enable_sql_cache(self, maxsize=128, obs=None):
+        """Cache fully fetched SQL results, keyed by statement text +
+        per-table write versions (see :mod:`repro.cache.sqlcache`).
+
+        Counters land on ``obs`` (default: the database's instrument).
+        ``maxsize=0`` leaves the wrapper uncached.
+        """
+        from repro.cache.sqlcache import SqlResultCache
+
+        if maxsize:
+            self._sql_cache = SqlResultCache(
+                maxsize, obs=obs or self.database.stats
+            )
+        else:
+            self._sql_cache = None
+        return self
+
+    def disable_sql_cache(self):
+        self._sql_cache = None
+        return self
+
+    @property
+    def sql_cache(self):
+        """The attached :class:`SqlResultCache`, or ``None``."""
+        return self._sql_cache
+
+    def sql_cache_health(self):
+        """Cumulative cache counters plus the wrapper's traffic tallies
+        (rendered per source by ``Mediator.explain``)."""
+        if self._sql_cache is None:
+            return None
+        health = {"source": self.server_name}
+        health.update(self._sql_cache.stats())
+        stats = self.database.stats
+        health["tuples_shipped"] = stats.get(statnames.TUPLES_SHIPPED)
+        health["tuples_from_cache"] = stats.get(statnames.TUPLES_FROM_CACHE)
+        return health
+
+    def data_version(self):
+        """The wrapper's write-version fingerprint (navigation memo)."""
+        return (
+            "rel",
+            self.server_name,
+            tuple(sorted(self.database.table_versions().items())),
+        )
 
     # -- configuration -----------------------------------------------------------
 
@@ -80,7 +129,9 @@ class RelationalWrapper(Source):
         span_name = "wrap({})".format(doc_id)
         span_key = "wrap:{}:{}".format(self.server_name, doc_id)
         with self._span(stats, span_name, span_key, table_name):
-            cursor = self.database.execute(
+            # Through execute_sql so document iteration shares the SQL
+            # result cache with pushed rQ statements.
+            cursor = self.execute_sql(
                 "SELECT * FROM {}".format(table_name)
             )
         rows = iter(cursor)
@@ -114,6 +165,8 @@ class RelationalWrapper(Source):
         return True
 
     def execute_sql(self, sql):
+        if self._sql_cache is not None:
+            return self._sql_cache.execute(self.database, sql)
         return self.database.execute(sql)
 
     def describe_table(self, table_name):

@@ -23,12 +23,15 @@ class XmlFileSource(Source):
         self._texts = {}
         self._trees = {}
         self._stats = stats
+        self._data_epoch = 0  # bumped whenever a document is (re)registered
 
     # -- configuration ------------------------------------------------------------
 
     def add_text(self, doc_id, xml_text):
         """Register a document from XML text (parsed on first access)."""
         self._texts[doc_id] = xml_text
+        self._trees.pop(doc_id, None)  # re-registration replaces the tree
+        self._data_epoch += 1
         return self
 
     def add_file(self, doc_id, path):
@@ -39,7 +42,13 @@ class XmlFileSource(Source):
     def add_tree(self, doc_id, root):
         """Register an already-built tree (no fetch counted)."""
         self._trees[doc_id] = root
+        self._data_epoch += 1
         return self
+
+    def data_version(self):
+        """Documents change only through (re)registration, so the
+        registration epoch is an exact write version."""
+        return ("xml", self._data_epoch)
 
     # -- Source interface ------------------------------------------------------------
 

@@ -46,3 +46,22 @@ SOURCE_FAILURES = "source_failures"    # failed source calls/pulls (pre-retry)
 BREAKER_TRANSITIONS = "breaker_transitions"  # circuit-breaker state changes
 DEGRADED_RESULTS = "degraded_results"  # <mix:error> stubs substituted
 FAULTS_INJECTED = "faults_injected"    # faults fired by FaultInjectingSource
+TUPLES_FROM_CACHE = "tuples_from_cache"  # rows replayed by the SQL result cache
+
+# Cache counters (see repro.cache).  Each cache mirrors its LRU counts
+# onto the instrument under "<prefix>_<event>"; the prefixes are:
+PLAN_CACHE = "plan_cache"              # compiled-plan cache (Mediator)
+NAV_MEMO = "nav_memo"                  # navigation memo (Mediator)
+SQL_CACHE = "sql_cache"                # pushed-SQL result cache (wrapper)
+PLAN_CACHE_HITS = "plan_cache_hits"
+PLAN_CACHE_MISSES = "plan_cache_misses"
+PLAN_CACHE_EVICTIONS = "plan_cache_evictions"
+PLAN_CACHE_INVALIDATIONS = "plan_cache_invalidations"
+NAV_MEMO_HITS = "nav_memo_hits"
+NAV_MEMO_MISSES = "nav_memo_misses"
+NAV_MEMO_EVICTIONS = "nav_memo_evictions"
+NAV_MEMO_INVALIDATIONS = "nav_memo_invalidations"
+SQL_CACHE_HITS = "sql_cache_hits"
+SQL_CACHE_MISSES = "sql_cache_misses"
+SQL_CACHE_EVICTIONS = "sql_cache_evictions"
+SQL_CACHE_INVALIDATIONS = "sql_cache_invalidations"

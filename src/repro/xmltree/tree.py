@@ -40,7 +40,7 @@ class Node:
     the paper's navigation-driven evaluation contract.
     """
 
-    __slots__ = ("oid", "label", "_children", "_tail")
+    __slots__ = ("oid", "label", "_children", "_tail", "_broken")
 
     def __init__(self, oid, label, children=(), lazy_tail=None):
         if not isinstance(label, VALUE_TYPES):
@@ -51,6 +51,7 @@ class Node:
         self.label = label
         self._children = list(children)
         self._tail = lazy_tail
+        self._broken = None
 
     # -- structure ---------------------------------------------------------
 
@@ -61,14 +62,47 @@ class Node:
         return self._children
 
     def _force(self, count):
-        """Materialize children up to ``count`` (``None`` = all)."""
-        while self._tail is not None and (
+        """Materialize children up to ``count`` (``None`` = all).
+
+        A lazy tail that raises is *dead* (a generator never resumes
+        after an exception), so the failure is remembered and re-raised
+        on any later forcing — silently truncating the child list would
+        present a partial answer as a complete one.
+        """
+        while (self._tail is not None or self._broken is not None) and (
             count is None or len(self._children) < count
         ):
+            if self._broken is not None:
+                raise self._broken
             try:
                 self._children.append(next(self._tail))
             except StopIteration:
                 self._tail = None
+            except Exception as exc:
+                self._broken = exc
+                raise
+
+    def copy_subtree(self):
+        """A fully materialized deep copy of this subtree (forces it).
+
+        Bulk-export primitive: slot-direct construction skips the label
+        check ``__init__`` would redo on values that were validated when
+        this tree was first built.
+        """
+        self._force(None)
+        clone = Node.__new__(Node)
+        clone.oid = self.oid
+        clone.label = self.label
+        clone._children = [c.copy_subtree() for c in self._children]
+        clone._tail = None
+        clone._broken = None
+        return clone
+
+    @property
+    def is_broken(self):
+        """Whether this node's lazy tail raised; its child list beyond
+        the materialized prefix is unrecoverable."""
+        return self._broken is not None
 
     @property
     def is_leaf(self):
@@ -82,6 +116,10 @@ class Node:
     def materialized_child_count(self):
         """How many children have been produced so far (no forcing)."""
         return len(self._children)
+
+    def materialized_children(self):
+        """The children produced so far, as a list copy (no forcing)."""
+        return list(self._children)
 
     @property
     def fully_materialized(self):

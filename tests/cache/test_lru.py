@@ -1,0 +1,140 @@
+"""The LRU substrate: bounds, ordering, counters, and the disable path.
+
+Every cache level (plan / pushed-SQL / navigation) rides on
+:class:`repro.cache.lru.LRUCache`, so its contract is pinned here once:
+eviction is strictly least-recently-*looked-up* first, ``maxsize=0``
+disables cleanly, and the four counters agree with forced sequences of
+operations (the ISSUE's eviction/bounds satellite).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import LRUCache
+from repro.obs import Instrument
+
+
+def test_store_then_lookup_hits():
+    cache = LRUCache(maxsize=4)
+    cache.store("a", 1)
+    assert cache.lookup("a") == (True, 1)
+    assert cache.lookup("missing") == (False, None)
+
+
+def test_eviction_is_lru_order():
+    cache = LRUCache(maxsize=2)
+    cache.store("a", 1)
+    cache.store("b", 2)
+    cache.lookup("a")          # refresh: "b" is now the LRU entry
+    cache.store("c", 3)        # evicts "b"
+    assert cache.keys() == ["a", "c"]
+    assert cache.lookup("b") == (False, None)
+    assert cache.lookup("a") == (True, 1)
+    assert cache.evictions == 1
+
+
+def test_store_refreshes_existing_key_without_eviction():
+    cache = LRUCache(maxsize=2)
+    cache.store("a", 1)
+    cache.store("b", 2)
+    cache.store("a", 10)       # refresh, not insert: nothing evicted
+    assert cache.evictions == 0
+    assert cache.keys() == ["b", "a"]
+    assert cache.lookup("a") == (True, 10)
+
+
+def test_maxsize_is_never_exceeded():
+    cache = LRUCache(maxsize=3)
+    for i in range(10):
+        cache.store(i, i)
+        assert len(cache) <= 3
+    assert cache.evictions == 7
+    assert cache.keys() == [7, 8, 9]
+
+
+def test_maxsize_zero_disables_cleanly():
+    cache = LRUCache(maxsize=0)
+    assert not cache.enabled
+    cache.store("a", 1)
+    assert len(cache) == 0
+    # A disabled cache neither hits nor *counts*: it is off, not empty.
+    assert cache.lookup("a") == (False, None)
+    assert cache.stats() == {
+        "hits": 0, "misses": 0, "evictions": 0, "invalidations": 0,
+        "size": 0, "maxsize": 0,
+    }
+
+
+def test_maxsize_none_is_unbounded():
+    cache = LRUCache(maxsize=None)
+    for i in range(500):
+        cache.store(i, i)
+    assert len(cache) == 500
+    assert cache.evictions == 0
+
+
+def test_negative_maxsize_rejected():
+    with pytest.raises(ValueError):
+        LRUCache(maxsize=-1)
+
+
+def test_counters_agree_with_forced_sequence():
+    cache = LRUCache(maxsize=2)
+    cache.lookup("a")                  # miss
+    cache.store("a", 1)
+    cache.lookup("a")                  # hit
+    cache.store("b", 2)
+    cache.store("c", 3)                # evicts "a"
+    cache.lookup("a")                  # miss
+    cache.invalidate("b")              # invalidation
+    cache.invalidate("b")              # absent: no count
+    assert cache.stats() == {
+        "hits": 1, "misses": 2, "evictions": 1, "invalidations": 1,
+        "size": 1, "maxsize": 2,
+    }
+
+
+def test_validate_hook_drops_and_counts_invalidation():
+    cache = LRUCache(maxsize=4)
+    cache.store("a", {"version": 1})
+    hit, value = cache.lookup("a", validate=lambda v: v["version"] == 2)
+    assert (hit, value) == (False, None)
+    assert "a" not in cache
+    # One invalidation (the stale entry) plus one miss (the lookup).
+    assert cache.invalidations == 1
+    assert cache.misses == 1
+
+
+def test_clear_counts_each_entry_once():
+    cache = LRUCache(maxsize=4)
+    cache.store("a", 1)
+    cache.store("b", 2)
+    assert cache.clear() == 2
+    assert cache.invalidations == 2
+    assert len(cache) == 0
+    assert cache.clear() == 0          # empty clear counts nothing
+    assert cache.invalidations == 2
+
+
+def test_counters_mirror_onto_instrument():
+    obs = Instrument()
+    cache = LRUCache(maxsize=1, obs=obs, prefix="plan_cache")
+    cache.lookup("a")
+    cache.store("a", 1)
+    cache.lookup("a")
+    cache.store("b", 2)                # evicts "a"
+    cache.invalidate("b")
+    assert obs.get("plan_cache_misses") == 1
+    assert obs.get("plan_cache_hits") == 1
+    assert obs.get("plan_cache_evictions") == 1
+    assert obs.get("plan_cache_invalidations") == 1
+
+
+def test_peek_has_no_counter_or_order_effect():
+    cache = LRUCache(maxsize=2)
+    cache.store("a", 1)
+    cache.store("b", 2)
+    assert cache.peek("a") == 1
+    assert cache.keys() == ["a", "b"]  # "a" still LRU: peek didn't refresh
+    assert cache.hits == 0 and cache.misses == 0

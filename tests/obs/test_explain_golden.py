@@ -26,7 +26,14 @@ tD($V9, view1)   [tuples=3]
         gBy($C, $X5)   [tuples=3]
           rQ(s, <sql>, {$C={1,2,3}; $O={4,5,6}})   [tuples=4]
               sql: SELECT c1.id, c1.name, c1.addr, o1.orid, o1.cid, o1.value FROM customer c1, orders o1 WHERE c1.id = o1.cid ORDER BY c1.id, o1.orid
--- tuples=24 rq_statements=1"""
+-- tuples=24 rq_statements=1
+-- plan_cache: off"""
+
+GOLDEN_Q1_EXPLAIN_WARM_FOOTER = """\
+-- tuples=24 rq_statements=1
+-- plan_cache: hit
+-- cache[s]: hits=1 misses=0 evictions=0 invalidations=0 \
+tuples_shipped=0 tuples_from_cache=4"""
 
 
 def fresh_mediator():
@@ -61,10 +68,36 @@ def test_eager_mediator_explains_with_same_plan_shape():
     # Same plan lines; eager counts include never-walked branches, so
     # only the structural prefix of each line is compared.
     golden_ops = [
-        line.split("   [")[0] for line in GOLDEN_Q1_EXPLAIN.splitlines()[:-1]
+        line.split("   [")[0]
+        for line in GOLDEN_Q1_EXPLAIN.splitlines()
+        if not line.startswith("--")
     ]
-    ours = [line.split("   [")[0] for line in text.splitlines()[:-1]]
+    ours = [
+        line.split("   [")[0]
+        for line in text.splitlines()
+        if not line.startswith("--")
+    ]
     assert ours == golden_ops
+
+
+def test_warm_explain_matches_golden_footer():
+    """Second EXPLAIN of the same query on a caching mediator: the plan
+    comes from the plan cache and every row from the SQL result cache —
+    zero tuples cross the source boundary."""
+    mediator = Mediator(cache=True).add_source(make_paper_wrapper())
+    cold = mediator.explain(Q1, mask_times=True)
+    assert "-- plan_cache: miss" in cold
+    assert "tuples_shipped=4" in cold
+    warm = mediator.explain(Q1, mask_times=True)
+    assert warm.endswith(GOLDEN_Q1_EXPLAIN_WARM_FOOTER)
+    # The plan tree itself is byte-identical between cold and warm.
+    plan_lines = [
+        line for line in cold.splitlines() if not line.startswith("--")
+    ]
+    warm_lines = [
+        line for line in warm.splitlines() if not line.startswith("--")
+    ]
+    assert plan_lines == warm_lines
 
 
 def test_golden_trace_json_is_stable():

@@ -1,0 +1,209 @@
+"""The differential cache-consistency property (ISSUE acceptance
+criterion).
+
+Two mediators run over **one shared database**: one with the full
+multi-level cache (plan / pushed-SQL / navigation), one stone cold.
+For random interleavings of queries, DML (INSERT / UPDATE / DELETE),
+and ``define_view`` redefinitions, the two must be observationally
+identical at every step — byte-identical serialized answers (labels
+and values; oids are surrogates and legitimately differ) and identical
+lazy navigation transcripts, for full walks and for partial prefix
+walks alike.  A cached answer must also never carry a ``<mix:error>``
+stub: nothing degraded is ever served from cache.
+
+``MIX_CACHE_SEED`` (the CI cache-consistency matrix variable) rotates
+the operation mix, so the three CI seeds exercise different
+interleavings; every test must pass for any seed.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Database, Mediator, RelationalWrapper
+from repro.obs import Instrument
+from repro.resilience import ERROR_LABEL
+from repro.xmltree import serialize
+
+#: The CI matrix seed (three fixed seeds in .github/workflows/ci.yml).
+CACHE_SEED = int(os.environ.get("MIX_CACHE_SEED", "0"))
+
+QUERIES = [
+    """
+    FOR $C IN document(root1)/customer
+        $O IN document(root2)/order
+    WHERE $C/id/data() = $O/cid/data()
+    RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> </CustRec>
+    """,
+    "FOR $C IN document(root1)/customer RETURN $C",
+    "FOR $O IN document(root2)/order RETURN $O",
+    """
+    FOR $O IN document(root2)/order
+    WHERE $O/value/data() > 1000
+    RETURN <Big> $O </Big>
+    """,
+    "FOR $R IN document(vw)/Rec RETURN $R",
+]
+
+VIEW_DEFS = [
+    """
+    FOR $O IN document(root2)/order
+    WHERE $O/value/data() > 20000
+    RETURN <Rec> $O </Rec>
+    """,
+    "FOR $O IN document(root2)/order RETURN <Rec> $O </Rec>",
+    "FOR $C IN document(root1)/customer RETURN <Rec> $C </Rec>",
+]
+
+
+def fresh_pair():
+    """One shared database; a caching and a cold mediator over it.
+
+    Each mediator gets its *own* wrapper (and so its own SQL result
+    cache), mirroring two mediator processes over one backend.
+    """
+    db = Database("shared", stats=Instrument())
+    db.run("CREATE TABLE customer (id TEXT, name TEXT, addr TEXT,"
+           " PRIMARY KEY (id))")
+    db.run("CREATE TABLE orders (orid INT, cid TEXT, value INT,"
+           " PRIMARY KEY (orid))")
+    db.run("INSERT INTO customer VALUES"
+           " ('XYZ', 'XYZInc.', 'LosAngeles'),"
+           " ('DEF', 'DEFCorp.', 'NewYork'),"
+           " ('ABC', 'ABCInc.', 'SanDiego')")
+    db.run("INSERT INTO orders VALUES"
+           " (28904, 'XYZ', 2400), (87456, 'ABC', 200000),"
+           " (111, 'XYZ', 100), (222, 'DEF', 30000)")
+
+    def wrap():
+        return (
+            RelationalWrapper(db)
+            .register_document("root1", "customer")
+            .register_document("root2", "orders", element_label="order")
+        )
+
+    cached = Mediator(stats=Instrument(), cache=True).add_source(wrap())
+    cold = Mediator(stats=Instrument()).add_source(wrap())
+    for mediator in (cached, cold):
+        mediator.define_view("vw", VIEW_DEFS[0])
+    return db, cached, cold
+
+
+def transcript(handle, budget=None):
+    """The lazy navigation transcript of a result: ``(depth, label)``
+    per d/r landing, depth-first, optionally stopping after ``budget``
+    landings (a *partial* walk)."""
+    out = []
+    remaining = [budget if budget is not None else float("inf")]
+
+    def rec(node, depth):
+        while node is not None and remaining[0] > 0:
+            remaining[0] -= 1
+            out.append((depth, str(node.fl())))
+            rec(node.d(), depth + 1)
+            if remaining[0] <= 0:
+                return
+            node = node.r()
+
+    rec(handle.d(), 0)
+    return out
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("query"), st.integers(0, len(QUERIES) - 1),
+                  st.sampled_from([None, 1, 3, 7])),
+        st.tuples(st.just("insert_order"),
+                  st.sampled_from(["XYZ", "ABC", "DEF", "GHI"]),
+                  st.integers(0, 300000)),
+        st.tuples(st.just("insert_customer"), st.just(None), st.just(None)),
+        st.tuples(st.just("update_orders"),
+                  st.sampled_from(["XYZ", "ABC", "DEF"]),
+                  st.integers(0, 300000)),
+        st.tuples(st.just("delete_orders"), st.just(None),
+                  st.integers(0, 300000)),
+        st.tuples(st.just("redefine_view"),
+                  st.integers(0, len(VIEW_DEFS) - 1), st.just(None)),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(operations)
+@settings(max_examples=30, deadline=None)
+def test_cached_and_cold_mediators_agree_at_every_step(ops):
+    db, cached, cold = fresh_pair()
+    next_orid = 100000
+    next_cust = 0
+    for step, (kind, a, b) in enumerate(ops):
+        if kind == "query":
+            index = (a + CACHE_SEED) % len(QUERIES)
+            query = QUERIES[index]
+            budget = b
+            warm = cached.query(query)
+            ref = cold.query(query)
+            if budget is None:
+                warm_tree, ref_tree = warm.to_tree(), ref.to_tree()
+                assert serialize(warm_tree) == serialize(ref_tree), (
+                    "full answers diverged at step {} (query {})".format(
+                        step, index
+                    )
+                )
+                assert ERROR_LABEL not in serialize(warm_tree)
+            assert transcript(warm, budget) == transcript(ref, budget), (
+                "navigation transcripts diverged at step {} "
+                "(query {}, budget {})".format(step, index, budget)
+            )
+        elif kind == "insert_order":
+            value = (b + CACHE_SEED * 97) % 300001
+            db.run("INSERT INTO orders VALUES ({}, '{}', {})".format(
+                next_orid, a, value))
+            next_orid += 1
+        elif kind == "insert_customer":
+            db.run("INSERT INTO customer VALUES"
+                   " ('N{0}', 'NewCo{0}', 'Town{0}')".format(next_cust))
+            next_cust += 1
+        elif kind == "update_orders":
+            value = (b + CACHE_SEED * 31) % 300001
+            db.run("UPDATE orders SET value = {} WHERE cid = '{}'".format(
+                value, a))
+        elif kind == "delete_orders":
+            threshold = (b + CACHE_SEED * 13) % 300001
+            db.run("DELETE FROM orders WHERE value > {}".format(threshold))
+        elif kind == "redefine_view":
+            definition = VIEW_DEFS[(a + CACHE_SEED) % len(VIEW_DEFS)]
+            for mediator in (cached, cold):
+                mediator.define_view("vw", definition)
+    # The interleaving really exercised the cache when it queried.
+    if any(op[0] == "query" for op in ops):
+        stats = cached.cache_stats()
+        consulted = (
+            stats["plan_cache"]["hits"] + stats["plan_cache"]["misses"]
+        )
+        assert consulted > 0
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=15, deadline=None)
+def test_repeated_query_storm_stays_consistent(seed):
+    """Many repeats of one query with interleaved writes: every answer
+    reflects exactly the state at its own step."""
+    db, cached, cold = fresh_pair()
+    rng_value = (seed * 7919 + CACHE_SEED * 104729) % 250000
+    query = QUERIES[2]  # all orders
+    for round_number in range(4):
+        warm = serialize(cached.query(query).to_tree())
+        ref = serialize(cold.query(query).to_tree())
+        assert warm == ref
+        db.run("INSERT INTO orders VALUES ({}, 'XYZ', {})".format(
+            200000 + seed * 10 + round_number, rng_value + round_number))
+    assert serialize(cached.query(query).to_tree()) == serialize(
+        cold.query(query).to_tree()
+    )
+    # Four rounds of (query, write): repeats before a write hit, writes
+    # invalidate exactly — never a stale answer (checked above), and
+    # the memo was genuinely in play.
+    assert cached.cache_stats()["nav_memo"]["misses"] >= 1
