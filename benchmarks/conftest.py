@@ -8,6 +8,9 @@ regenerates the numbers recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
 
 from repro import Database, Instrument, Mediator, RelationalWrapper
@@ -58,6 +61,82 @@ def build_mediator(n_customers, orders_per_customer, **mediator_kwargs):
 def build_catalog(n_customers, orders_per_customer):
     stats, wrapper = build_workload(n_customers, orders_per_customer)
     return stats, SourceCatalog().register(wrapper)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="Directory to write machine-readable BENCH_<series>.json "
+             "files with the measured benchmark records.",
+    )
+
+
+class BenchRecorder:
+    """Collects benchmark records and writes one JSON file per series.
+
+    Each record is ``{name, params, seconds, counters}`` — the same
+    numbers the printed tables show, but machine-readable, so CI (and
+    EXPERIMENTS.md updates) can diff runs without scraping stdout.
+    Records accumulate regardless; files are only written when
+    ``--bench-json PATH`` names a directory.
+    """
+
+    def __init__(self, directory=None):
+        self.directory = directory
+        self._series = {}
+
+    def record(self, series, name, params=None, seconds=None,
+               counters=None):
+        self._series.setdefault(series, []).append({
+            "name": name,
+            "params": dict(params or {}),
+            "seconds": seconds,
+            "counters": dict(counters or {}),
+        })
+
+    __call__ = record
+
+    def flush(self):
+        if self.directory is None or not self._series:
+            return
+        os.makedirs(self.directory, exist_ok=True)
+        for series, records in sorted(self._series.items()):
+            path = os.path.join(
+                self.directory, "BENCH_{}.json".format(series)
+            )
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {"series": series, "records": records},
+                    handle, indent=2, sort_keys=True,
+                )
+                handle.write("\n")
+
+
+#: The session-wide recorder; benchmarks call :func:`bench_record`.
+_RECORDER = BenchRecorder()
+
+
+def bench_record(series, name, params=None, seconds=None, counters=None):
+    """Record one benchmark measurement under ``series``."""
+    _RECORDER.record(
+        series, name, params=params, seconds=seconds, counters=counters
+    )
+
+
+def pytest_configure(config):
+    _RECORDER.directory = config.getoption("--bench-json", default=None)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    _RECORDER.flush()
+
+
+@pytest.fixture
+def bench_recorder():
+    return _RECORDER
 
 
 def print_series(title, header, rows):

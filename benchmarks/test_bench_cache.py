@@ -24,7 +24,12 @@ from repro import Instrument, Mediator
 from repro import stats as sn
 from repro.workloads import build_auction
 
-from benchmarks.conftest import VIEW_QUERY, build_workload, print_series
+from benchmarks.conftest import (
+    VIEW_QUERY,
+    bench_record,
+    build_workload,
+    print_series,
+)
 
 N_CUSTOMERS = 150
 ORDERS_PER = 5
@@ -86,6 +91,14 @@ def warm_cold_series(build, query, label, **mediator_kwargs):
             ("warm (best of {})".format(WARM_REPEATS),
              round(warm_best, 4), shipped_warm, "hit", "hit"),
         ],
+    )
+    bench_record(
+        "E-CACHE", label,
+        params=dict(mediator_kwargs, cold_repeats=COLD_REPEATS,
+                    warm_repeats=WARM_REPEATS),
+        seconds={"cold": cold, "warm": warm_best},
+        counters={"tuples_shipped_cold": shipped_cold,
+                  "tuples_shipped_warm": shipped_warm},
     )
     return cold, warm_best, shipped_cold, shipped_warm
 

@@ -10,7 +10,12 @@ Commands:
   needing pytest;
 * ``explain``  — EXPLAIN ANALYZE the paper's Q1 (or a query read from a
   file with ``explain <path>``) against the Fig. 2 database; ``--json``
-  additionally prints the JSON trace of a single ``d`` navigation.
+  additionally prints the JSON trace of a single ``d`` navigation, and
+  ``--analyze`` collects source statistics first so every estimable
+  operator shows ``est=… act=…``;
+* ``sql``      — run SQL statements (including ``ANALYZE``) against the
+  paper database: each quoted argument is one statement, or statements
+  are read from stdin one per line.
 
 ``demo`` and ``explain`` accept ``--fault-profile=NAME`` (with optional
 ``--fault-seed=N``), which interposes a seeded
@@ -27,6 +32,9 @@ All profile timing runs on a manual clock: no real sleeps.
 The multi-level query cache (plan / pushed-SQL / navigation, see
 :mod:`repro.cache`) is **on** for CLI runs; ``--no-cache`` switches it
 off and ``--cache-size=N`` bounds each level (``0`` also disables).
+Statistics-driven cost-based planning (:mod:`repro.optimizer`) is also
+on by default; ``--no-optimizer`` falls back to the seed's syntactic
+plans.
 """
 
 from __future__ import annotations
@@ -36,12 +44,10 @@ import sys
 FAULT_PROFILES = ("transient", "slow", "outage")
 
 
-def _paper_mediator(fault_profile=None, fault_seed=0, cache=True,
-                    cache_size=128):
-    from repro import Database, Instrument, Mediator, RelationalWrapper
+def _paper_database(stats=None):
+    from repro import Database, Instrument
 
-    stats = Instrument()
-    db = Database("paper", stats=stats)
+    db = Database("paper", stats=stats or Instrument())
     db.run("CREATE TABLE customer (id TEXT, name TEXT, addr TEXT,"
            " PRIMARY KEY (id))")
     db.run("CREATE TABLE orders (orid INT, cid TEXT, value INT,"
@@ -50,13 +56,23 @@ def _paper_mediator(fault_profile=None, fault_seed=0, cache=True,
            " ('DEF', 'DEFCorp.', 'NewYork'), ('ABC', 'ABCInc.', 'SanDiego')")
     db.run("INSERT INTO orders VALUES (28904, 'XYZ', 2400),"
            " (87456, 'ABC', 200000), (111, 'XYZ', 100), (222, 'DEF', 30000)")
+    return db
+
+
+def _paper_mediator(fault_profile=None, fault_seed=0, cache=True,
+                    cache_size=128, cost_optimizer=True):
+    from repro import Instrument, Mediator, RelationalWrapper
+
+    stats = Instrument()
+    db = _paper_database(stats)
     wrapper = (
         RelationalWrapper(db)
         .register_document("root1", "customer")
         .register_document("root2", "orders", element_label="order")
     )
     if fault_profile is None:
-        mediator = Mediator(stats=stats, cache=cache, cache_size=cache_size)
+        mediator = Mediator(stats=stats, cache=cache, cache_size=cache_size,
+                            cost_optimizer=cost_optimizer)
         return stats, mediator.add_source(wrapper)
     source = _faulty_source(wrapper, fault_profile, fault_seed, stats)
     # SQL push-down off: the demo should *navigate* the faulty source,
@@ -65,7 +81,7 @@ def _paper_mediator(fault_profile=None, fault_seed=0, cache=True,
     # keeps poisoned answers out of the navigation memo.
     mediator = Mediator(
         stats=stats, push_sql=False, on_source_error="degrade",
-        cache=cache, cache_size=cache_size,
+        cache=cache, cache_size=cache_size, cost_optimizer=cost_optimizer,
     )
     return stats, mediator.add_source(source)
 
@@ -145,6 +161,13 @@ def _fault_options(args):
     return profile, int(seed or 0), args
 
 
+def _optimizer_options(args):
+    """Extract ``--no-optimizer`` (CLI default: cost-based planning on)."""
+    cost = "--no-optimizer" not in args
+    args = [arg for arg in args if arg != "--no-optimizer"]
+    return cost, args
+
+
 def _cache_options(args):
     """Extract ``--no-cache`` / ``--cache-size=N`` (CLI default: on)."""
     cache = "--no-cache" not in args
@@ -172,9 +195,10 @@ def cmd_demo(args=()):
     """Example 2.1, command for command, with traffic counters."""
     profile, seed, args = _fault_options(list(args))
     cache, cache_size, args = _cache_options(args)
+    cost, args = _optimizer_options(args)
     stats, mediator = _paper_mediator(
         fault_profile=profile, fault_seed=seed,
-        cache=cache, cache_size=cache_size,
+        cache=cache, cache_size=cache_size, cost_optimizer=cost,
     )
     if profile is not None:
         # The scripted Example 2.1 walk assumes every step lands on a
@@ -282,8 +306,12 @@ def cmd_explain(args=()):
     as_json = "--json" in args
     while "--json" in args:
         args.remove("--json")
+    analyze_first = "--analyze" in args
+    while "--analyze" in args:
+        args.remove("--analyze")
     profile, seed, args = _fault_options(args)
     cache, cache_size, args = _cache_options(args)
+    cost, args = _optimizer_options(args)
     query = Q1
     if args:
         try:
@@ -295,8 +323,12 @@ def cmd_explain(args=()):
             return 1
     __, mediator = _paper_mediator(
         fault_profile=profile, fault_seed=seed,
-        cache=cache, cache_size=cache_size,
+        cache=cache, cache_size=cache_size, cost_optimizer=cost,
     )
+    if analyze_first:
+        analyzed = mediator.analyze_sources()
+        for server, count in sorted(analyzed.items()):
+            print("-- analyzed[{}]: {} tables".format(server, count))
     try:
         print(mediator.explain(query))
     except MixError as exc:
@@ -312,6 +344,44 @@ def cmd_explain(args=()):
     return 0
 
 
+def cmd_sql(args=()):
+    """A tiny SQL shell against the paper's Fig. 2 database.
+
+    Each quoted command-line argument is one statement; with none,
+    statements are read from stdin (one per line).  ``ANALYZE`` works
+    here exactly as in any source database: it (re)collects the
+    optimizer statistics that cost-based planning and ``est=``
+    estimates feed on.
+    """
+    from repro.errors import MixError
+
+    statements = [a for a in args if a.strip()]
+    if not statements:
+        statements = [line for line in sys.stdin if line.strip()]
+    db = _paper_database()
+    for sql in statements:
+        sql = sql.strip().rstrip(";").strip()
+        if not sql or sql.startswith("--"):
+            continue
+        print("sql> {}".format(sql))
+        try:
+            if sql.upper().startswith("SELECT"):
+                cursor = db.execute(sql)
+                count = 0
+                for row in cursor:
+                    print("  " + " | ".join(str(v) for v in row))
+                    count += 1
+                print("-- {} rows".format(count))
+            elif sql.upper().startswith("ANALYZE"):
+                print("-- {} tables analyzed".format(db.run(sql)))
+            else:
+                print("-- {} rows affected".format(db.run(sql)))
+        except MixError as exc:
+            print("sql: {}".format(exc), file=sys.stderr)
+            return 1
+    return 0
+
+
 def main(argv=None):
     argv = argv if argv is not None else sys.argv[1:]
     commands = {
@@ -319,12 +389,14 @@ def main(argv=None):
         "figures": cmd_figures,
         "bench": cmd_bench,
         "explain": cmd_explain,
+        "sql": cmd_sql,
     }
     if not argv or argv[0] not in commands:
         print(__doc__)
-        print("usage: python -m repro {demo|figures|bench|explain}"
+        print("usage: python -m repro {demo|figures|bench|explain|sql}"
               " [--fault-profile=" + "|".join(FAULT_PROFILES) +
-              "] [--fault-seed=N] [--no-cache] [--cache-size=N]")
+              "] [--fault-seed=N] [--no-cache] [--cache-size=N]"
+              " [--no-optimizer] [--analyze]")
         return 2
     return commands[argv[0]](argv[1:])
 

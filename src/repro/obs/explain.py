@@ -18,19 +18,24 @@ from repro.obs.instrument import Instrument
 from repro.obs.tokens import node_token
 
 
-def render_explain(plan, instrument=None, mask_times=False):
+def render_explain(plan, instrument=None, mask_times=False, estimates=None):
     """The plan rendered with per-node tuple counts (and times).
 
     Nodes that never ran under ``instrument`` show ``tuples=0``; with no
     instrument at all the annotation is omitted entirely (plain
-    ``EXPLAIN`` without ``ANALYZE``).
+    ``EXPLAIN`` without ``ANALYZE``).  ``estimates`` — the optimizer's
+    ``{node_token: rows}`` map (:func:`repro.optimizer.planview
+    .estimate_plan`) — switches an estimated node's annotation to
+    ``est=… act=…`` so misestimates sit next to their actuals; nodes
+    without an estimate (and every node when the map is empty, e.g. on
+    a never-analyzed source) keep the plain ``tuples=`` form.
     """
     lines = []
-    _render(plan, 0, lines, instrument, mask_times)
+    _render(plan, 0, lines, instrument, mask_times, estimates or {})
     return "\n".join(lines)
 
 
-def _render(node, depth, lines, instrument, mask_times):
+def _render(node, depth, lines, instrument, mask_times, estimates):
     from repro.algebra import operators as ops
     from repro.algebra.printer import render_operator
 
@@ -38,7 +43,12 @@ def _render(node, depth, lines, instrument, mask_times):
     line = pad + render_operator(node)
     if instrument is not None:
         token = node_token(node)
-        line += "   [tuples={}".format(instrument.node_count(token))
+        if token in estimates:
+            line += "   [est={} act={}".format(
+                estimates[token], instrument.node_count(token)
+            )
+        else:
+            line += "   [tuples={}".format(instrument.node_count(token))
         if not mask_times:
             line += " time={:.3f}ms".format(
                 instrument.node_elapsed(token) * 1e3
@@ -49,9 +59,10 @@ def _render(node, depth, lines, instrument, mask_times):
         lines.append("{}    sql: {}".format(pad, node.sql))
     if isinstance(node, ops.Apply):
         lines.append(pad + "  p:")
-        _render(node.plan, depth + 2, lines, instrument, mask_times)
+        _render(node.plan, depth + 2, lines, instrument, mask_times,
+                estimates)
     for child in node.children:
-        _render(child, depth + 1, lines, instrument, mask_times)
+        _render(child, depth + 1, lines, instrument, mask_times, estimates)
 
 
 def explain_analyze(mediator, query_text, mask_times=False):
@@ -129,7 +140,14 @@ def explain_analyze_with_trace(mediator, query_text, mask_times=False):
                    "breaker": str(entry["breaker"]),
                    "transitions": ",".join(entry["transitions"]) or "-"}
             )
-    text = render_explain(exec_plan, instrument, mask_times=mask_times)
+    estimates = {}
+    if getattr(mediator, "cost_optimizer", False):
+        from repro.optimizer.planview import estimate_plan
+
+        estimates = estimate_plan(exec_plan, mediator.catalog)
+    text = render_explain(
+        exec_plan, instrument, mask_times=mask_times, estimates=estimates
+    )
     footer = "-- tuples={} rq_statements={}".format(
         instrument.get("operator_tuples"), instrument.get("rq_statements")
     )

@@ -1,0 +1,271 @@
+"""The cost model driving the SQL executor's physical choices.
+
+Three decisions, all previously syntactic, become cost-based here:
+
+* **join order** — a greedy enumeration over the join graph: start from
+  the alias with the smallest estimated (filtered) cardinality, then
+  repeatedly take the equi-connected alias that minimizes the estimated
+  intermediate result (cross products only when the graph is
+  disconnected, and then smallest-first);
+* **build vs probe** — each hash join materializes its smaller side and
+  streams the larger one (the seed always built the newly joined
+  alias);
+* **index vs scan** — among the usable (prefix-bound) secondary
+  indexes, the one with the fewest estimated matching rows, and only
+  when that beats a full scan.
+
+Everything here consumes the executor's resolved predicate objects
+duck-typed (``aliases``/``op``/``left``/``right`` with
+``column``/``is_literal``), so the estimator stays import-cycle-free.
+"""
+
+from __future__ import annotations
+
+from repro.optimizer.selectivity import (
+    conjunction_selectivity,
+    default_selectivity,
+    equijoin_selectivity,
+    predicate_selectivity,
+)
+
+#: A partial-prefix index probe must look this much better than a full
+#: scan to be chosen (it walks the index's distinct keys, so a barely
+#: selective prefix can cost more than the scan it replaces).
+PARTIAL_PREFIX_THRESHOLD = 0.75
+
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+class JoinStep:
+    """One planned pipeline step: join ``alias`` into the stream.
+
+    ``build_new`` picks the hash-join build side: ``True`` materializes
+    the newly joined alias (the seed behavior), ``False`` materializes
+    the accumulated stream and probes the new alias instead.  ``None``
+    for the first step (a plain scan).
+    """
+
+    __slots__ = ("alias", "build_new", "estimate")
+
+    def __init__(self, alias, build_new, estimate):
+        self.alias = alias
+        self.build_new = build_new
+        self.estimate = estimate
+
+    def __repr__(self):
+        return "JoinStep({}, build_new={}, est={:.1f})".format(
+            self.alias, self.build_new, self.estimate
+        )
+
+
+class SelectPlanner:
+    """Cost-based physical planning for one SELECT.
+
+    Built from the executor's name binding and resolved predicates;
+    every estimate bottoms out in the tables' live row counts plus
+    whatever fresh ``ANALYZE`` statistics exist.
+    """
+
+    def __init__(self, binding, predicates):
+        self.binding = binding
+        self.predicates = list(predicates)
+        self._position = {a: i for i, a in enumerate(binding.aliases)}
+        self._local = {
+            alias: [
+                p for p in self.predicates
+                if p.aliases and p.aliases <= {alias}
+            ]
+            for alias in binding.aliases
+        }
+        self._scan_est = {
+            alias: self._filtered_rows(alias) for alias in binding.aliases
+        }
+
+    # -- per-alias estimates ---------------------------------------------------
+
+    def table(self, alias):
+        return self.binding.tables[alias]
+
+    def local_predicates(self, alias):
+        return self._local[alias]
+
+    def scan_estimate(self, alias):
+        """Estimated rows surviving the alias's filtered scan."""
+        return self._scan_est[alias]
+
+    def _filtered_rows(self, alias):
+        table = self.table(alias)
+        rows = float(len(table))
+        sels = [
+            self._local_selectivity(table, p)
+            for p in self._local[alias]
+        ]
+        return rows * conjunction_selectivity(sels)
+
+    @staticmethod
+    def _local_selectivity(table, predicate):
+        column, op, literal = _column_literal_form(predicate)
+        if column is not None:
+            return predicate_selectivity(table, column, op, literal)
+        return default_selectivity(predicate.op)
+
+    # -- join ordering ---------------------------------------------------------
+
+    def join_order(self):
+        """The greedy cost-based order; a list of :class:`JoinStep`."""
+        pending = list(self.binding.aliases)
+        if not pending:
+            return []
+        first = min(
+            pending,
+            key=lambda a: (self._scan_est[a], self._position[a]),
+        )
+        pending.remove(first)
+        stream_est = self._scan_est[first]
+        steps = [JoinStep(first, None, stream_est)]
+        joined = {first}
+        while pending:
+            alias, estimate = self._next_step(pending, joined, stream_est)
+            pending.remove(alias)
+            build_new = self._scan_est[alias] <= stream_est
+            steps.append(JoinStep(alias, build_new, estimate))
+            joined.add(alias)
+            stream_est = estimate
+        return steps
+
+    def final_estimate(self):
+        """Estimated output rows of the whole FROM/WHERE pipeline."""
+        steps = self.join_order()
+        estimate = steps[-1].estimate if steps else 0.0
+        # Residual predicates (spanning 3+ aliases, or whatever the
+        # join loop could not consume) filter the final stream.
+        joined = {s.alias for s in steps}
+        for p in self.predicates:
+            if len(p.aliases) > 2 and p.aliases <= joined:
+                estimate *= default_selectivity(p.op)
+        return estimate
+
+    def _next_step(self, pending, joined, stream_est):
+        connected = [
+            a for a in pending
+            if any(
+                p.op == "="
+                and len(p.aliases) == 2
+                and a in p.aliases
+                and (p.aliases - {a}) <= joined
+                for p in self.predicates
+            )
+        ]
+        if connected:
+            best = min(
+                connected,
+                key=lambda a: (
+                    self._join_estimate(a, joined, stream_est),
+                    self._position[a],
+                ),
+            )
+            return best, self._join_estimate(best, joined, stream_est)
+        # Disconnected join graph: a cross product is unavoidable.
+        # Prefer an alias a usable index or a local predicate shrinks
+        # (the satellite fix for the old blind ``pending[0]``).
+        best = min(
+            pending,
+            key=lambda a: (
+                self._scan_est[a],
+                0 if self._has_usable_index(a) else 1,
+                self._position[a],
+            ),
+        )
+        return best, stream_est * self._scan_est[best]
+
+    def _join_estimate(self, alias, joined, stream_est):
+        estimate = stream_est * self._scan_est[alias]
+        for p in self.predicates:
+            if len(p.aliases) != 2 or alias not in p.aliases:
+                continue
+            if not (p.aliases - {alias}) <= joined:
+                continue
+            if p.op == "=" and not (p.left.is_literal or p.right.is_literal):
+                estimate *= self._equijoin_selectivity(p)
+            else:
+                estimate *= default_selectivity(p.op)
+        return estimate
+
+    def _equijoin_selectivity(self, predicate):
+        (l_alias,) = predicate.left.aliases
+        (r_alias,) = predicate.right.aliases
+        return equijoin_selectivity(
+            self.table(l_alias), predicate.left.column,
+            self.table(r_alias), predicate.right.column,
+        )
+
+    def _has_usable_index(self, alias):
+        bound = _equality_bindings(self._local[alias])
+        table = self.table(alias)
+        return any(columns[0] in bound for columns in table.indexes())
+
+    # -- index choice ----------------------------------------------------------
+
+    def choose_index(self, alias, candidates):
+        """Pick among usable index candidates ``[(columns, prefix_len)]``.
+
+        Returns the winning ``(columns, prefix_len)`` or ``None`` when a
+        full scan is estimated to be cheaper.
+        """
+        if not candidates:
+            return None
+        table = self.table(alias)
+        bound = _equality_bindings(self._local[alias])
+        rows = float(len(table))
+
+        def probe_estimate(candidate):
+            columns, prefix_len = candidate
+            sels = [
+                predicate_selectivity(table, col, "=", bound[col])
+                for col in columns[:prefix_len]
+            ]
+            return rows * conjunction_selectivity(sels)
+
+        best = min(candidates, key=lambda c: (probe_estimate(c), c[0]))
+        estimate = probe_estimate(best)
+        if best[1] == len(best[0]):
+            # Fully bound: a single O(1) bucket probe always wins.
+            return best
+        if estimate < rows * PARTIAL_PREFIX_THRESHOLD:
+            return best
+        return None
+
+
+def estimate_select(database, stmt):
+    """Estimated result rows of a parsed SELECT against ``database``.
+
+    This is what the mediator-level plan estimator (`est=` in EXPLAIN)
+    and the pushed-SQL split consult.  Import is deferred so the
+    executor's lazy import of this module stays cycle-free.
+    """
+    from repro.relational.executor import resolve_select
+
+    binding, predicates = resolve_select(database, stmt)
+    planner = SelectPlanner(binding, predicates)
+    return max(0.0, planner.final_estimate())
+
+
+def _column_literal_form(predicate):
+    """``(column, op, literal)`` for a one-sided comparison, flipping
+    the operator when the literal is on the left; ``(None, op, None)``
+    otherwise."""
+    if predicate.left.column is not None and predicate.right.is_literal:
+        return predicate.left.column, predicate.op, predicate.right.literal
+    if predicate.right.column is not None and predicate.left.is_literal:
+        op = _FLIPPED.get(predicate.op, predicate.op)
+        return predicate.right.column, op, predicate.left.literal
+    return None, predicate.op, None
+
+
+def _equality_bindings(local_predicates):
+    bindings = {}
+    for p in local_predicates:
+        eq = p.equality_binding()
+        if eq is not None:
+            bindings.setdefault(eq[0], eq[1])
+    return bindings

@@ -53,11 +53,19 @@ class Mediator:
             time-based (see :mod:`repro.cache`).
         cache_size: max entries per cache level; ``0`` disables caching
             even when ``cache=True``.
+        cost_optimizer: statistics-driven cost-based planning (on by
+            default).  Controls the relational executor's join
+            order/build side/index choice on every source added through
+            :meth:`add_source`, the statistics-gated SQL refinements of
+            the push-down, and the ``est=`` column of EXPLAIN ANALYZE.
+            ``False`` (CLI ``--no-optimizer``) reproduces the seed's
+            syntactic plans byte for byte.
     """
 
     def __init__(self, catalog=None, stats=None, optimize=True,
                  push_sql=True, lazy=True, dedup_groups=False,
-                 on_source_error="raise", cache=False, cache_size=128):
+                 on_source_error="raise", cache=False, cache_size=128,
+                 cost_optimizer=True):
         if on_source_error not in ("raise", "degrade"):
             raise ValueError(
                 "on_source_error must be 'raise' or 'degrade', "
@@ -70,6 +78,7 @@ class Mediator:
         self.push_sql = push_sql
         self.lazy = lazy
         self.on_source_error = on_source_error
+        self.cost_optimizer = cost_optimizer
         self.cache_size = cache_size
         if cache and cache_size:
             from repro.cache import CacheManager
@@ -97,7 +106,24 @@ class Mediator:
             enable = getattr(source, "enable_sql_cache", None)
             if callable(enable):
                 enable(self.cache_size, obs=self.obs)
+        set_cost = getattr(source, "set_cost_optimizer", None)
+        if callable(set_cost):
+            set_cost(self.cost_optimizer)
         return self
+
+    def analyze_sources(self):
+        """``ANALYZE`` every source that supports it.
+
+        Returns ``{server_name: tables_analyzed}``.  Statistics feed the
+        cost-based planners and the ``est=`` EXPLAIN column; they go
+        stale (and estimates silently disappear) on the next DML.
+        """
+        analyzed = {}
+        for source in self.catalog.sources():
+            analyze = getattr(source, "analyze", None)
+            if callable(analyze):
+                analyzed[source.server_name] = analyze()
+        return analyzed
 
     def define_view(self, name, query_text):
         """Define a named *virtual* view.
@@ -247,6 +273,7 @@ class Mediator:
             self._views_epoch,
             self.optimize,
             self.push_sql,
+            self.cost_optimizer,
         )
 
     def prepare(self, query_text):
@@ -298,7 +325,9 @@ class Mediator:
         compose_plan = plan
         if self.push_sql:
             with self.obs.timer("push_sql"):
-                plan = push_to_sources(plan, self.catalog)
+                plan = push_to_sources(
+                    plan, self.catalog, cost=self.cost_optimizer
+                )
         return plan, compose_plan
 
     def _run(self, plan, on_source_error=None):

@@ -8,6 +8,7 @@ Statements::
     INSERT INTO name VALUES (lit, ...), ...
     DELETE FROM name [WHERE ...]
     UPDATE name SET col = lit, ... [WHERE ...]
+    ANALYZE [name]
 
 Predicates are conjunctions of ``operand op operand`` where operands are
 column references or literals; this matches exactly what the mediator's
@@ -167,6 +168,19 @@ class DeleteStmt:
     def __init__(self, table, predicates=()):
         self.table = table
         self.predicates = list(predicates)
+
+
+class AnalyzeStmt:
+    """``ANALYZE [table]`` — collect optimizer statistics.
+
+    ``table`` is ``None`` for the whole-database form.
+    """
+
+    def __init__(self, table=None):
+        self.table = table
+
+    def __repr__(self):
+        return "ANALYZE" + (" " + self.table if self.table else "")
 
 
 class UpdateStmt:

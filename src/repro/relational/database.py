@@ -28,9 +28,13 @@ class Database:
         cursor.fetchone()   # ('XYZ', 'XYZInc.')
     """
 
-    def __init__(self, name="db", stats=None):
+    def __init__(self, name="db", stats=None, optimizer=True):
         self.name = name
         self.stats = stats or Instrument()
+        #: When true the executor plans SELECTs cost-based (join order,
+        #: build side, index choice) from ``ANALYZE`` statistics; when
+        #: false it keeps the seed's syntactic FROM-order planning.
+        self.optimizer = optimizer
         self._tables = {}
         # Table *epochs* make versions survive drop/recreate: a table
         # recreated under an old name gets a fresh epoch from this
@@ -87,6 +91,42 @@ class Database:
             for name, table in self._tables.items()
         }
 
+    # -- optimizer statistics ----------------------------------------------------
+
+    def analyze(self, table_name=None):
+        """Collect optimizer statistics (``ANALYZE [table]``).
+
+        Profiles ``table_name`` (or every table) and stores a
+        :class:`~repro.optimizer.statistics.TableStatistics` snapshot on
+        each table, stamped with the table's current ``(epoch,
+        version)`` so later DML makes it stale rather than wrong.
+        Returns the number of tables analyzed.
+        """
+        from repro.optimizer.statistics import collect_table_statistics
+
+        names = [table_name] if table_name else self.table_names()
+        for name in names:
+            table = self.table(name)
+            table.statistics = collect_table_statistics(
+                table, epoch=self._epochs[name]
+            )
+        if names:
+            self.stats.incr(statnames.TABLES_ANALYZED, len(names))
+        return len(names)
+
+    def estimate(self, sql):
+        """Estimated result rows for a SELECT, or ``None``.
+
+        Requires fresh (post-``ANALYZE``, pre-DML) statistics on every
+        referenced table; never touches data or counters.
+        """
+        from repro.optimizer.cost import estimate_select
+
+        stmt = parse_sql(sql)
+        if not isinstance(stmt, ast.SelectStmt):
+            raise SqlError("estimate() is for SELECT statements")
+        return estimate_select(self, stmt)
+
     # -- statement execution ----------------------------------------------------
 
     def execute(self, sql):
@@ -121,6 +161,8 @@ class Database:
             table = self.table(stmt.table)
             pred = self._row_predicate(table, stmt.predicates)
             return table.delete_where(pred)
+        if isinstance(stmt, ast.AnalyzeStmt):
+            return self.analyze(stmt.table)
         if isinstance(stmt, ast.UpdateStmt):
             table = self.table(stmt.table)
             pred = self._row_predicate(table, stmt.predicates)

@@ -9,14 +9,20 @@ evaluation effective down to the base tables.
 
 Join strategy: predicates are classified into per-alias filters (applied
 on the scan), equi-join predicates (hash joins), and residual cross-alias
-predicates (filtered after a nested-loop/cross product).  The join order
-greedily follows equi-join connectivity from the first FROM entry.
+predicates (filtered after a nested-loop/cross product).  With the
+cost-based optimizer on (``Database(optimizer=True)``, the default) the
+join order, each hash join's build side, and the index-vs-scan choice
+come from :class:`repro.optimizer.cost.SelectPlanner`; with it off the
+seed's syntactic planning applies — the join order greedily follows
+equi-join connectivity from the first FROM entry, the build side is
+always the newly joined alias, and only fully bound indexes are used.
 """
 
 from __future__ import annotations
 
 import operator
 
+from repro import stats as statnames
 from repro.errors import SchemaError, SqlError
 from repro.relational import ast
 
@@ -150,6 +156,18 @@ class _ResolvedPredicate:
         return None
 
 
+def resolve_select(database, stmt):
+    """Name-resolve a SELECT: ``(binding, resolved_predicates)``.
+
+    Shared by execution (below) and by the cost model's
+    :func:`repro.optimizer.cost.estimate_select`, which plans the same
+    resolved form without running it.
+    """
+    binding = _Binding(database, stmt.tables)
+    predicates = [_ResolvedPredicate(binding, p) for p in stmt.predicates]
+    return binding, predicates
+
+
 def execute_select(database, stmt, obs=None):
     """Evaluate a SELECT; returns ``(column_names, row_generator)``.
 
@@ -157,9 +175,15 @@ def execute_select(database, stmt, obs=None):
     counted under a per-table-set counter and attributed to whichever
     navigation span is active when the cursor pulls it.
     """
-    binding = _Binding(database, stmt.tables)
-    predicates = [_ResolvedPredicate(binding, p) for p in stmt.predicates]
-    rows = _join_pipeline(binding, predicates)
+    binding, predicates = resolve_select(database, stmt)
+    planner = None
+    if getattr(database, "optimizer", False):
+        from repro.optimizer.cost import SelectPlanner
+
+        planner = SelectPlanner(binding, predicates)
+    rows = _join_pipeline(
+        binding, predicates, planner=planner, stats=database.stats
+    )
     if stmt.order_by:
         keys = [binding.resolve(c)[1] for c in stmt.order_by]
         rows = _sorted_stream(rows, keys)
@@ -224,8 +248,13 @@ def _sort_key(value):
     return (2, 0, str(value))
 
 
-def _join_pipeline(binding, predicates):
-    """Build the lazily evaluated join tree over all FROM entries."""
+def _join_pipeline(binding, predicates, planner=None, stats=None):
+    """Build the lazily evaluated join tree over all FROM entries.
+
+    With a :class:`~repro.optimizer.cost.SelectPlanner` the join order
+    and each step's build side follow its cost-based plan; without one
+    (optimizer off) the seed's syntactic order applies.
+    """
     remaining_preds = list(predicates)
     joined_aliases = set()
     stream = None
@@ -246,7 +275,9 @@ def _join_pipeline(binding, predicates):
         table = binding.tables[alias]
         base = binding.offsets[alias]
         width = binding.total_width
-        index_columns, index_values = _pick_index(table, local)
+        index_columns, index_values = _pick_index(
+            table, local, planner=planner, alias=alias
+        )
 
         def generator():
             if index_columns is not None:
@@ -262,9 +293,18 @@ def _join_pipeline(binding, predicates):
 
         return generator
 
+    plan_steps = planner.join_order() if planner is not None else None
+    step_index = 0
     pending = list(binding.aliases)
     while pending:
-        alias = _next_alias(pending, joined_aliases, remaining_preds)
+        if plan_steps is not None:
+            step = plan_steps[step_index]
+            step_index += 1
+            alias = step.alias
+            build_new = step.build_new if step.build_new is not None else True
+        else:
+            alias = _next_alias(pending, joined_aliases, remaining_preds)
+            build_new = True
         pending.remove(alias)
         if stream is None:
             stream = scan_alias(alias)
@@ -288,7 +328,10 @@ def _join_pipeline(binding, predicates):
         ]
         for p in equi + cross:
             remaining_preds.remove(p)
-        stream = _hash_join(stream, scan_alias(alias), alias, equi, cross)
+        stream = _hash_join(
+            stream, scan_alias(alias), alias, equi, cross,
+            build_new=build_new, stats=stats,
+        )
         joined_aliases.add(alias)
 
     if stream is None:
@@ -304,26 +347,57 @@ def _join_pipeline(binding, predicates):
     return finalize()
 
 
-def _pick_index(table, local_predicates):
-    """The most-covering secondary index usable for the local equality
-    predicates; returns ``(columns, values)`` or ``(None, None)``."""
+def _pick_index(table, local_predicates, planner=None, alias=None):
+    """The secondary index to probe for the local equality predicates;
+    returns ``(columns, values)`` or ``(None, None)`` for a full scan.
+
+    An index is usable when a *leading prefix* of its columns is bound
+    by equality predicates (an index on ``(a, b)`` answers ``a = 1``).
+    With a planner the choice among usable indexes — and whether any
+    beats a full scan — is cost-based; without one the seed's syntactic
+    rule applies (most-covering fully bound index, else the longest
+    usable prefix).
+    """
     bindings = {}
     for p in local_predicates:
         eq = p.equality_binding()
         if eq is not None:
             bindings.setdefault(eq[0], eq[1])
-    best = None
+    candidates = []
     for columns in table.indexes():
-        if all(c in bindings for c in columns):
-            if best is None or len(columns) > len(best):
-                best = columns
+        prefix_len = 0
+        while prefix_len < len(columns) and columns[prefix_len] in bindings:
+            prefix_len += 1
+        if prefix_len:
+            candidates.append((columns, prefix_len))
+    if planner is not None:
+        best = planner.choose_index(alias, candidates)
+    else:
+        best = None
+        for columns, prefix_len in candidates:
+            if prefix_len == len(columns):
+                if best is None or len(columns) > len(best[0]):
+                    best = (columns, prefix_len)
+        if best is None:
+            for columns, prefix_len in candidates:
+                if best is None or prefix_len > best[1]:
+                    best = (columns, prefix_len)
     if best is None:
         return None, None
-    return best, [bindings[c] for c in best]
+    columns, prefix_len = best
+    return columns, [bindings[c] for c in columns[:prefix_len]]
 
 
 def _next_alias(pending, joined, predicates):
-    """Prefer an alias equi-connected to the already-joined set."""
+    """Prefer an alias equi-connected to the already-joined set.
+
+    This is the *syntactic* (optimizer-off) order.  The blind
+    ``pending[0]`` fallback on a disconnected join graph is kept
+    deliberately so ``--no-optimizer`` reproduces the seed's plans
+    byte for byte; the cost-based planner's fallback instead prefers
+    the smallest alias with a usable index or local predicate
+    (:meth:`repro.optimizer.cost.SelectPlanner._next_step`).
+    """
     if not joined:
         return pending[0]
     for alias in pending:
@@ -338,45 +412,62 @@ def _next_alias(pending, joined, predicates):
     return pending[0]
 
 
-def _hash_join(probe_stream, build_scan, build_alias, equi_preds, cross_preds):
+def _hash_join(probe_stream, build_scan, build_alias, equi_preds, cross_preds,
+               build_new=True, stats=None):
     """Hash join (or filtered cross product when no equi predicate).
 
-    The build side (the newly joined alias) is materialized into a hash
-    table on first pull; the probe side stays pipelined, so cursor pulls
-    still drive how much of the *probe* input is consumed.
+    One side is materialized into a hash table on first pull; the other
+    stays pipelined, so cursor pulls still drive how much of it is
+    consumed.  ``build_new`` picks the side: ``True`` (the seed
+    behavior) materializes the newly joined alias and streams the
+    accumulated pipeline; ``False`` — chosen by the cost model when the
+    accumulated stream is estimated smaller — materializes the stream
+    and pipelines the new alias's scan instead.  Every emitted tuple
+    counts one ``join_tuples``, the intermediate-traffic metric the
+    E-OPT benchmark compares across join orders.
     """
 
     def build_key_getters():
-        probe_getters = []
-        build_getters = []
+        stream_getters = []
+        new_getters = []
         for p in equi_preds:
             if p.left.aliases == frozenset([build_alias]):
-                build_getters.append(p.left.get)
-                probe_getters.append(p.right.get)
+                new_getters.append(p.left.get)
+                stream_getters.append(p.right.get)
             else:
-                build_getters.append(p.right.get)
-                probe_getters.append(p.left.get)
-        return probe_getters, build_getters
+                new_getters.append(p.right.get)
+                stream_getters.append(p.left.get)
+        return stream_getters, new_getters
 
     def generator():
-        probe_getters, build_getters = build_key_getters()
+        stream_getters, new_getters = build_key_getters()
+        if build_new:
+            build_side, build_getters = build_scan, new_getters
+            probe_side, probe_getters = probe_stream, stream_getters
+        else:
+            build_side, build_getters = probe_stream, stream_getters
+            probe_side, probe_getters = build_scan, new_getters
         if equi_preds:
             buckets = {}
-            for row in build_scan():
+            for row in build_side():
                 key = tuple(g(row) for g in build_getters)
                 buckets.setdefault(key, []).append(row)
-            for probe_row in probe_stream():
+            for probe_row in probe_side():
                 key = tuple(g(probe_row) for g in probe_getters)
                 for build_row in buckets.get(key, ()):
                     merged = _merge(probe_row, build_row)
                     if all(p.test(merged) for p in cross_preds):
+                        if stats is not None:
+                            stats.incr(statnames.JOIN_TUPLES)
                         yield merged
         else:
-            build_rows = list(build_scan())
-            for probe_row in probe_stream():
+            build_rows = list(build_side())
+            for probe_row in probe_side():
                 for build_row in build_rows:
                     merged = _merge(probe_row, build_row)
                     if all(p.test(merged) for p in cross_preds):
+                        if stats is not None:
+                            stats.incr(statnames.JOIN_TUPLES)
                         yield merged
 
     return generator

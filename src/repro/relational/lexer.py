@@ -17,6 +17,7 @@ KEYWORDS = {
     "CREATE", "TABLE", "PRIMARY", "KEY", "INDEX", "ON",
     "INSERT", "INTO", "VALUES",
     "DELETE", "UPDATE", "SET", "NULL", "ASC", "DESC",
+    "ANALYZE",
 }
 
 _SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ".", "*")

@@ -71,6 +71,7 @@ def parse_sql(sql):
         "INSERT": _parse_insert,
         "DELETE": _parse_delete,
         "UPDATE": _parse_update,
+        "ANALYZE": _parse_analyze,
     }
     handler = dispatch.get(tok.text)
     if handler is None:
@@ -257,6 +258,12 @@ def _parse_update(stream):
         while stream.accept(KEYWORD, "AND"):
             predicates.append(_parse_predicate(stream))
     return ast.UpdateStmt(table, assignments, predicates)
+
+
+def _parse_analyze(stream):
+    stream.expect(KEYWORD, "ANALYZE")
+    table_tok = stream.accept(IDENT)
+    return ast.AnalyzeStmt(table_tok.text if table_tok else None)
 
 
 def _parse_assignment(stream):

@@ -24,6 +24,11 @@ class Table:
         #: bumps it, which is what the SQL result cache and the
         #: navigation memo fingerprint (version-based invalidation).
         self.version = 0
+        #: Optimizer statistics (:class:`repro.optimizer.statistics
+        #: .TableStatistics`) from the last ``ANALYZE``, or ``None``.
+        #: Never invalidated in place — consumers compare the recorded
+        #: version against the live one (same tokens as the cache).
+        self.statistics = None
 
     def __len__(self):
         return len(self._rows)
@@ -142,17 +147,39 @@ class Table:
     def index_scan(self, columns, values):
         """Rows whose ``columns`` equal ``values``, via the hash index.
 
+        ``values`` may bind only a *leading prefix* of the index
+        columns — an index on ``(a, b)`` answers ``a = 1`` by walking
+        its buckets and keeping those whose key starts with ``(1,)``.
         Each returned row counts as scanned; the probe itself counts one
-        ``index_lookups``.
+        ``index_lookups`` whether full or partial.
         """
         key = tuple(columns)
         if key not in self._secondary:
             raise SchemaError(
                 "no index on {} of table {!r}".format(key, self.schema.name)
             )
+        if not values or len(values) > len(key):
+            raise SchemaError(
+                "index probe on {} needs 1..{} values, got {}".format(
+                    key, len(key), len(values)
+                )
+            )
         if self._stats is not None:
             self._stats.incr(statnames.INDEX_LOOKUPS)
-        for position in self._secondary[key].get(tuple(values), ()):
+        index = self._secondary[key]
+        probe = tuple(values)
+        if len(probe) == len(key):
+            positions = index.get(probe, ())
+        else:
+            # Prefix probe: gather matching buckets, restore insertion
+            # order so results match a filtered scan's ordering.
+            positions = sorted(
+                pos
+                for bucket_key, bucket in index.items()
+                if bucket_key[: len(probe)] == probe
+                for pos in bucket
+            )
+        for position in positions:
             if self._stats is not None:
                 self._stats.incr(statnames.ROWS_SCANNED)
             yield self._rows[position]

@@ -23,6 +23,17 @@ DISTINCT deviation from the paper: Fig. 22's published SQL encodes the
 semijoin as a plain self-join, which duplicates rows when several ``o2``
 orders match; we emit SELECT DISTINCT to preserve the set semantics of
 the algebra (recorded in EXPERIMENTS.md).
+
+Cost-based refinements (``cost=True`` plus fresh ``ANALYZE`` statistics
+on every referenced table — without both, the emitted SQL is
+byte-identical to the seed's):
+
+* the FROM clause lists tables smallest-first by analyzed row count, so
+  sources with purely syntactic planners start from the cheapest scan;
+* a semijoin's DISTINCT is dropped when the probe side provably cannot
+  duplicate rows — a single probe table matched through a full
+  primary-key equality (schema-provable, hence safe even for cached
+  plans that outlive the statistics).
 """
 
 from __future__ import annotations
@@ -44,6 +55,9 @@ class _SqlModel:
         self.where = []        # SQL text fragments
         self.order = []        # SQL column refs
         self.distinct = False
+        #: True when some semijoin in this model can actually duplicate
+        #: rows; DISTINCT then survives even under the cost optimizer.
+        self.distinct_required = False
         self.internal_only = set()  # vars not exportable (semijoin probe side)
 
     def alias_of(self, index):
@@ -62,6 +76,9 @@ class _SqlModel:
         self.where.extend(other.where)
         self.order.extend(other.order)
         self.distinct = self.distinct or other.distinct
+        self.distinct_required = (
+            self.distinct_required or other.distinct_required
+        )
         self.internal_only |= other.internal_only
         return offset
 
@@ -76,25 +93,30 @@ class _AliasCounter:
         return "{}{}".format(table_name[0], count)
 
 
-def push_to_sources(plan, catalog, group_hint=None):
+def push_to_sources(plan, catalog, group_hint=None, cost=False):
     """Replace maximal relational subtrees of ``plan`` by ``rQ`` leaves.
 
     ``group_hint`` optionally forces an ORDER BY on the given variables
-    even without an enclosing ``gBy`` in ``plan``.
+    even without an enclosing ``gBy`` in ``plan``.  ``cost`` enables
+    the statistics-gated SQL refinements (FROM ordering, provably
+    redundant DISTINCT elision); they only engage when every referenced
+    table carries fresh ``ANALYZE`` statistics.
     """
     ctx = RewriteContext(plan)
     return _transform(plan, plan, ctx, catalog,
-                      tuple(group_hint or ()), top=True)
+                      tuple(group_hint or ()), cost, top=True)
 
 
-def _transform(root, node, ctx, catalog, pending_groups, top=False):
+def _transform(root, node, ctx, catalog, pending_groups, cost, top=False):
     if isinstance(node, ops.GroupBy):
         pending_groups = tuple(node.group_vars)
     compiled = _try_compile(node, catalog, _AliasCounter())
     if compiled is not None and _worth_pushing(node):
-        return _build_relquery(root, node, compiled, ctx, pending_groups)
+        return _build_relquery(
+            root, node, compiled, ctx, pending_groups, catalog, cost
+        )
     new_children = tuple(
-        _transform(root, child, ctx, catalog, pending_groups)
+        _transform(root, child, ctx, catalog, pending_groups, cost)
         for child in node.children
     )
     result = node
@@ -102,7 +124,7 @@ def _transform(root, node, ctx, catalog, pending_groups, top=False):
         result = node.with_children(new_children)
     if isinstance(result, ops.Apply):
         new_nested = _transform(
-            root, node.plan, ctx, catalog, pending_groups
+            root, node.plan, ctx, catalog, pending_groups, cost
         )
         if new_nested is not node.plan:
             result = result.with_nested_plan(new_nested)
@@ -220,10 +242,13 @@ def _compile_join(node, catalog, aliases, semi):
     if left.server != right.server:
         return None
     probe_vars = set()
+    probe_model = None
     if semi == "left":
         probe_vars = set(right.env)
+        probe_model = right
     elif semi == "right":
         probe_vars = set(left.env)
+        probe_model = left
     left.merge(right)
     for condition in node.conditions:
         fragment = _condition_sql(condition, left, catalog)
@@ -232,8 +257,41 @@ def _compile_join(node, catalog, aliases, semi):
         left.where.extend(fragment)
     if semi is not None:
         left.distinct = True
+        if _semijoin_may_duplicate(node, probe_model):
+            left.distinct_required = True
         left.internal_only |= probe_vars
     return left
+
+
+def _semijoin_may_duplicate(node, probe_model):
+    """Whether the semijoin's self-join encoding can duplicate rows.
+
+    ``False`` only when provably not: the probe side is a *single*
+    table with a primary key, matched through a full-primary-key
+    (KEY-mode) equality — each kept row then joins at most one probe
+    row.  This is schema-level reasoning, valid independent of data,
+    so a cached plan without the DISTINCT stays correct after DML.
+    """
+    if len(probe_model.tables) != 1:
+        return True
+    schema = probe_model.tables[0][3]
+    if not schema.primary_key:
+        return True
+    probe_vars = set(probe_model.env)
+    for condition in node.conditions:
+        if condition.mode != KEY or condition.op != "=":
+            continue
+        if not condition.is_var_var():
+            continue
+        left_probe = condition.left.var in probe_vars
+        right_probe = condition.right.var in probe_vars
+        if left_probe != right_probe:
+            probe_binding = probe_model.env.get(
+                condition.left.var if left_probe else condition.right.var
+            )
+            if probe_binding is not None and probe_binding[0] == "tuple":
+                return False
+    return True
 
 
 def _compile_orderby(node, catalog, aliases):
@@ -344,7 +402,7 @@ def _sql_literal(value):
 # -- rQ construction --------------------------------------------------------------
 
 
-def _build_relquery(root, node, model, ctx, pending_groups):
+def _build_relquery(root, node, model, ctx, pending_groups, catalog, cost):
     live = ctx.used_above(node)
     exported = [
         var
@@ -419,20 +477,53 @@ def _build_relquery(root, node, model, ctx, pending_groups):
     if order_refs is None:
         order_refs = list(model.order)
 
-    sql = _render_sql(model, select_items, order_refs)
+    row_counts = _fresh_row_counts(model, catalog) if cost else None
+    sql = _render_sql(model, select_items, order_refs, row_counts)
     return ops.RelQuery(model.server, sql, varmap, order_vars=order_vars)
 
 
-def _render_sql(model, select_items, order_refs):
+def _fresh_row_counts(model, catalog):
+    """``{alias: analyzed_row_count}`` for the model's tables, or
+    ``None`` when any table lacks fresh statistics (the gate that keeps
+    default SQL byte-identical to the seed's)."""
+    try:
+        source = catalog.server(model.server)
+    except Exception:
+        return None
+    getter = getattr(source, "table_statistics", None)
+    if not callable(getter):
+        return None
+    counts = {}
+    for table_name, alias, __, __ in model.tables:
+        stats = getter(table_name)
+        if stats is None:
+            return None
+        counts[alias] = stats.row_count
+    return counts
+
+
+def _render_sql(model, select_items, order_refs, row_counts=None):
+    tables = model.tables
+    distinct = model.distinct
+    if row_counts is not None:
+        # Fresh statistics on every table: list the FROM entries
+        # smallest-first (helps syntactic source planners; harmless for
+        # cost-based ones) and drop a DISTINCT no semijoin actually
+        # needs.  Both are correctness-neutral rewrites of the SQL text.
+        tables = sorted(
+            tables, key=lambda entry: (row_counts[entry[1]], entry[1])
+        )
+        if distinct and not model.distinct_required:
+            distinct = False
     parts = ["SELECT "]
-    if model.distinct:
+    if distinct:
         parts.append("DISTINCT ")
     parts.append(", ".join(select_items))
     parts.append(" FROM ")
     parts.append(
         ", ".join(
             "{} {}".format(table, alias)
-            for table, alias, __, __ in model.tables
+            for table, alias, __, __ in tables
         )
     )
     if model.where:

@@ -85,6 +85,46 @@ class RelationalWrapper(Source):
             tuple(sorted(self.database.table_versions().items())),
         )
 
+    # -- optimizer statistics ----------------------------------------------------
+
+    def set_cost_optimizer(self, enabled):
+        """Switch the underlying database's cost-based planning."""
+        self.database.optimizer = bool(enabled)
+        return self
+
+    def analyze(self):
+        """``ANALYZE`` every exported table; returns the count."""
+        return self.database.analyze()
+
+    def table_statistics(self, table_name):
+        """Fresh ``ANALYZE`` statistics for ``table_name``, or ``None``
+        (never analyzed, or stale after DML)."""
+        from repro.optimizer.statistics import fresh_statistics
+
+        return fresh_statistics(self.database.table(table_name))
+
+    def estimate_sql(self, sql):
+        """Estimated result rows for a pushed SELECT, or ``None``.
+
+        Estimates exist only when *every* referenced table has fresh
+        statistics — a never-analyzed source yields no estimates, which
+        keeps EXPLAIN output (and its goldens) unchanged by default.
+        """
+        from repro.optimizer.statistics import fresh_statistics
+        from repro.relational import ast
+        from repro.relational.parser import parse_sql
+
+        stmt = parse_sql(sql)
+        if not isinstance(stmt, ast.SelectStmt):
+            return None
+        for ref in stmt.tables:
+            if not self.database.has_table(ref.table):
+                return None
+            table = self.database.table(ref.table)
+            if fresh_statistics(table) is None:
+                return None
+        return self.database.estimate(sql)
+
     # -- configuration -----------------------------------------------------------
 
     def register_document(self, doc_id, table_name, element_label=None):

@@ -47,6 +47,8 @@ BREAKER_TRANSITIONS = "breaker_transitions"  # circuit-breaker state changes
 DEGRADED_RESULTS = "degraded_results"  # <mix:error> stubs substituted
 FAULTS_INJECTED = "faults_injected"    # faults fired by FaultInjectingSource
 TUPLES_FROM_CACHE = "tuples_from_cache"  # rows replayed by the SQL result cache
+JOIN_TUPLES = "join_tuples"            # tuples flowing through executor joins
+TABLES_ANALYZED = "tables_analyzed"    # tables profiled by ANALYZE
 
 # Cache counters (see repro.cache).  Each cache mirrors its LRU counts
 # onto the instrument under "<prefix>_<event>"; the prefixes are:

@@ -13,6 +13,13 @@ The shape knobs map directly to the experiments' axes:
     fraction of customers — the E-COMP sweep);
   - ``"uniform"``: independent uniform values in
     ``[value_step, value_step * tiers]``.
+
+* ``city_skew`` — fraction of customers packed into ``City0`` (the
+  leading block of the customer range); the rest round-robin over the
+  ``n_cities`` as before.  A high skew makes ``addr`` a low-NDV hot
+  column: joining through it first explodes the intermediate result,
+  which is exactly the adversarial join order the E-OPT experiment
+  feeds the optimizer.
 """
 
 from __future__ import annotations
@@ -32,22 +39,35 @@ class CustomersOrdersSpec:
 
     def __init__(self, n_customers=100, orders_per_customer=5,
                  value_mode="ladder", value_step=100, tiers=10,
-                 n_cities=7, seed=2002):
+                 n_cities=7, city_skew=None, seed=2002):
         if value_mode not in _VALUE_MODES:
             raise MixError(
                 "value_mode must be one of {}".format(_VALUE_MODES)
             )
+        if city_skew is not None and not 0.0 <= city_skew <= 1.0:
+            raise MixError("city_skew must be in [0, 1] or None")
         self.n_customers = n_customers
         self.orders_per_customer = orders_per_customer
         self.value_mode = value_mode
         self.value_step = value_step
         self.tiers = tiers
         self.n_cities = n_cities
+        self.city_skew = city_skew
         self.seed = seed
 
     @property
     def n_orders(self):
         return self.n_customers * self.orders_per_customer
+
+    def city(self, customer_index):
+        """The customer's city index (``city_skew`` packs the leading
+        fraction of customers into the hot city 0)."""
+        if (
+            self.city_skew
+            and customer_index < self.city_skew * self.n_customers
+        ):
+            return 0
+        return customer_index % self.n_cities
 
     def order_value(self, customer_index, order_index, rng):
         if self.value_mode == "ladder":
@@ -106,7 +126,7 @@ def build_customers_orders(spec=None, stats=None, **spec_kwargs):
     for i in range(spec.n_customers):
         db.run(
             "INSERT INTO customer VALUES ('C{:06d}', 'Name{}',"
-            " 'City{}')".format(i, i, i % spec.n_cities)
+            " 'City{}')".format(i, i, spec.city(i))
         )
         for j in range(spec.orders_per_customer):
             db.run(

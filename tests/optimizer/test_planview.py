@@ -1,0 +1,108 @@
+"""Plan-level estimate propagation (the ``est=`` map)."""
+
+import pytest
+
+from repro.algebra import (
+    Condition,
+    GroupBy,
+    Join,
+    OrderBy,
+    RelQuery,
+    Select,
+    SemiJoin,
+    TD,
+)
+from repro.algebra.operators import RQVar
+from repro.obs.tokens import node_token
+from repro.optimizer.planview import estimate_plan
+from repro.sources import SourceCatalog
+from tests.conftest import make_paper_wrapper
+
+
+@pytest.fixture
+def wrapper():
+    return make_paper_wrapper()
+
+
+@pytest.fixture
+def catalog(wrapper):
+    return SourceCatalog().register(wrapper)
+
+
+def rq(sql="SELECT id, name, addr FROM customer c1"):
+    columns = ((0, "id"), (1, "name"), (2, "addr"))
+    return RelQuery(
+        "s", sql, [RQVar("$C", "customer", columns, (0,))]
+    )
+
+
+class TestLeafEstimates:
+    def test_unanalyzed_source_yields_empty_map(self, catalog):
+        assert estimate_plan(TD("$C", rq()), catalog) == {}
+
+    def test_analyzed_source_estimates_leaf_and_spine(self, wrapper, catalog):
+        wrapper.analyze()
+        leaf = rq()
+        plan = TD("$C", leaf)
+        estimates = estimate_plan(plan, catalog)
+        assert estimates[node_token(leaf)] == 3
+        assert estimates[node_token(plan)] == 3
+
+    def test_dml_empties_the_map_again(self, wrapper, catalog):
+        wrapper.analyze()
+        wrapper.database.run("INSERT INTO customer VALUES ('CX', 'N', 'A')")
+        assert estimate_plan(TD("$C", rq()), catalog) == {}
+
+    def test_unknown_server_is_not_estimable(self, catalog):
+        plan = TD("$C", RelQuery("nope", "SELECT id FROM customer c1", []))
+        assert estimate_plan(plan, catalog) == {}
+
+
+class TestPropagation:
+    def test_select_scales_by_default_selectivity(self, wrapper, catalog):
+        wrapper.analyze()
+        select = Select(Condition.var_const("$C", "=", "x"), rq())
+        estimates = estimate_plan(TD("$C", select), catalog)
+        assert estimates[node_token(select)] == 0  # 3 * 0.1 rounds to 0
+
+    def test_join_multiplies_with_equijoin_shrink(self, wrapper, catalog):
+        wrapper.analyze()
+        left = rq()
+        right = rq("SELECT orid, cid, value FROM orders o1")
+        join = Join([Condition.var_var("$C", "=", "$O")], left, right)
+        estimates = estimate_plan(TD("$C", join), catalog)
+        # 3 x 4 / max(3, 4) = 3.
+        assert estimates[node_token(join)] == 3
+
+    def test_semijoin_keeps_fraction_of_kept_side(self, wrapper, catalog):
+        wrapper.analyze()
+        semi = SemiJoin(
+            [Condition.var_var("$C", "=", "$O")],
+            rq(),
+            rq("SELECT orid, cid, value FROM orders o1"),
+            keep="left",
+        )
+        estimates = estimate_plan(TD("$C", semi), catalog)
+        assert estimates[node_token(semi)] == 2  # 3 * 0.75 rounds to 2
+
+    def test_groupby_shrinks_but_never_to_zero(self, wrapper, catalog):
+        wrapper.analyze()
+        gby = GroupBy(("$C",), "$G", rq())
+        estimates = estimate_plan(TD("$C", gby), catalog)
+        assert estimates[node_token(gby)] == 2
+
+    def test_orderby_passes_through(self, wrapper, catalog):
+        wrapper.analyze()
+        order = OrderBy(("$C",), rq())
+        estimates = estimate_plan(TD("$C", order), catalog)
+        assert estimates[node_token(order)] == 3
+
+    def test_join_with_unestimable_side_is_unestimable(self, wrapper,
+                                                       catalog):
+        wrapper.analyze()
+        bad = RelQuery("nope", "SELECT id FROM customer c1", [])
+        join = Join([Condition.var_var("$C", "=", "$X")], rq(), bad)
+        estimates = estimate_plan(TD("$C", join), catalog)
+        assert node_token(join) not in estimates
+        # The estimable leaf is still annotated on its own.
+        assert len(estimates) == 1

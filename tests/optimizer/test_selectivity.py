@@ -1,0 +1,137 @@
+"""Selectivity estimation: fresh statistics vs System-R defaults."""
+
+import pytest
+
+from repro.optimizer.selectivity import (
+    DEFAULT_EQ_SELECTIVITY,
+    DEFAULT_NEQ_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+    conjunction_selectivity,
+    column_ndv,
+    default_selectivity,
+    equijoin_selectivity,
+    predicate_selectivity,
+)
+from repro.relational import Database
+
+
+@pytest.fixture
+def db():
+    database = Database("seldb")
+    database.run(
+        "CREATE TABLE orders (orid INT, cid TEXT, value INT,"
+        " PRIMARY KEY (orid))"
+    )
+    # value uniform over 1..100, cid over 10 distinct buckets.
+    for i in range(200):
+        database.run(
+            "INSERT INTO orders VALUES ({}, 'C{}', {})".format(
+                i, i % 10, (i % 100) + 1
+            )
+        )
+    return database
+
+
+def orders(db):
+    return db.table("orders")
+
+
+class TestDefaults:
+    def test_default_operator_table(self):
+        assert default_selectivity("=") == DEFAULT_EQ_SELECTIVITY
+        assert default_selectivity("!=") == DEFAULT_NEQ_SELECTIVITY
+        for op in ("<", "<=", ">", ">="):
+            assert default_selectivity(op) == DEFAULT_RANGE_SELECTIVITY
+
+    def test_unanalyzed_table_uses_defaults(self, db):
+        sel = predicate_selectivity(orders(db), "cid", "=", "C3")
+        assert sel == DEFAULT_EQ_SELECTIVITY
+
+    def test_stale_statistics_use_defaults(self, db):
+        db.analyze("orders")
+        db.run("INSERT INTO orders VALUES (999, 'CX', 1)")
+        sel = predicate_selectivity(orders(db), "value", "<", 50)
+        assert sel == DEFAULT_RANGE_SELECTIVITY
+
+
+class TestWithStatistics:
+    def test_equality_is_one_over_ndv(self, db):
+        db.analyze("orders")
+        sel = predicate_selectivity(orders(db), "cid", "=", "C3")
+        assert sel == pytest.approx(1 / 10)
+
+    def test_out_of_range_equality_is_near_zero(self, db):
+        db.analyze("orders")
+        sel = predicate_selectivity(orders(db), "value", "=", 5000)
+        assert 0 < sel < 0.01
+
+    def test_inequality(self, db):
+        db.analyze("orders")
+        sel = predicate_selectivity(orders(db), "cid", "!=", "C3")
+        assert sel == pytest.approx(0.9)
+
+    def test_range_tracks_histogram(self, db):
+        db.analyze("orders")
+        # value uniform over 1..100: "< 26" keeps about a quarter.
+        sel = predicate_selectivity(orders(db), "value", "<", 26)
+        assert sel == pytest.approx(0.25, abs=0.05)
+
+    def test_range_below_min_and_above_max(self, db):
+        db.analyze("orders")
+        assert predicate_selectivity(orders(db), "value", "<", 0) == 0.0
+        assert predicate_selectivity(orders(db), "value", ">", 1000) <= 0.01
+        assert predicate_selectivity(
+            orders(db), "value", ">=", 0
+        ) == pytest.approx(1.0)
+
+    def test_le_includes_mass_at_value(self, db):
+        db.analyze("orders")
+        lt = predicate_selectivity(orders(db), "value", "<", 50)
+        le = predicate_selectivity(orders(db), "value", "<=", 50)
+        assert le > lt
+
+    def test_skewed_histogram_beats_flat_default(self, db):
+        # 90% of the mass far below the midpoint: the histogram sees
+        # the skew that the 1/3 default would miss.
+        database = Database("skew")
+        database.run("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a))")
+        for i in range(100):
+            database.run(
+                "INSERT INTO t VALUES ({}, {})".format(
+                    i, 1 if i < 90 else 1000
+                )
+            )
+        database.analyze()
+        sel = predicate_selectivity(database.table("t"), "b", "<=", 500)
+        assert sel > 0.85
+        assert predicate_selectivity(
+            database.table("t"), "b", ">", 500
+        ) < 0.15
+
+
+class TestConjunctionAndJoins:
+    def test_conjunction_multiplies(self):
+        assert conjunction_selectivity([0.5, 0.2]) == pytest.approx(0.1)
+        assert conjunction_selectivity([]) == 1.0
+
+    def test_column_ndv_fresh_vs_default(self, db):
+        assert column_ndv(orders(db), "cid") == pytest.approx(200 * 0.1)
+        db.analyze("orders")
+        assert column_ndv(orders(db), "cid") == 10.0
+
+    def test_equijoin_uses_larger_ndv(self, db):
+        db.run("CREATE TABLE customer (id TEXT, PRIMARY KEY (id))")
+        for i in range(10):
+            db.run("INSERT INTO customer VALUES ('C{}')".format(i))
+        db.analyze()
+        sel = equijoin_selectivity(
+            orders(db), "cid", db.table("customer"), "id"
+        )
+        assert sel == pytest.approx(1 / 10)
+
+    def test_equijoin_on_keys_is_selective(self, db):
+        db.analyze("orders")
+        sel = equijoin_selectivity(
+            orders(db), "orid", orders(db), "orid"
+        )
+        assert sel == pytest.approx(1 / 200)

@@ -1,0 +1,143 @@
+"""Statistics lifecycle: ANALYZE -> fresh -> DML stales -> re-ANALYZE."""
+
+import pytest
+
+from repro.optimizer.statistics import (
+    Histogram,
+    collect_table_statistics,
+    fresh_statistics,
+)
+from repro.relational import Database
+
+
+@pytest.fixture
+def db():
+    database = Database("statsdb")
+    database.run(
+        "CREATE TABLE orders (orid INT, cid TEXT, value INT,"
+        " PRIMARY KEY (orid))"
+    )
+    for i in range(100):
+        database.run(
+            "INSERT INTO orders VALUES ({}, 'C{}', {})".format(
+                i, i % 10, (i % 20) + 1
+            )
+        )
+    return database
+
+
+class TestCollection:
+    def test_row_count_and_ndv(self, db):
+        stats = collect_table_statistics(db.table("orders"))
+        assert stats.row_count == 100
+        assert stats.column("orid").ndv == 100
+        assert stats.column("cid").ndv == 10
+        assert stats.column("value").ndv == 20
+
+    def test_min_max(self, db):
+        stats = collect_table_statistics(db.table("orders"))
+        assert stats.column("value").min == 1
+        assert stats.column("value").max == 20
+        assert stats.column("cid").min == "C0"
+        assert stats.column("cid").max == "C9"
+
+    def test_null_fraction(self, db):
+        db.run("INSERT INTO orders VALUES (999, 'CN', NULL)")
+        stats = collect_table_statistics(db.table("orders"))
+        assert stats.column("value").null_fraction == pytest.approx(1 / 101)
+        # NULLs are excluded from min/max and NDV.
+        assert stats.column("value").min == 1
+        assert stats.column("value").ndv == 20
+
+    def test_numeric_columns_get_histograms(self, db):
+        stats = collect_table_statistics(db.table("orders"))
+        assert stats.column("value").histogram is not None
+        assert stats.column("cid").histogram is None
+
+    def test_histogram_mass_equals_non_null_rows(self, db):
+        stats = collect_table_statistics(db.table("orders"))
+        assert stats.column("value").histogram.total == 100
+
+    def test_empty_table(self):
+        database = Database("empty")
+        database.run("CREATE TABLE t (a INT, PRIMARY KEY (a))")
+        stats = collect_table_statistics(database.table("t"))
+        assert stats.row_count == 0
+        assert stats.column("a").ndv == 0
+        assert stats.column("a").min is None
+
+    def test_collection_does_not_touch_scan_counters(self, db):
+        before = db.stats.snapshot()
+        collect_table_statistics(db.table("orders"))
+        assert db.stats.diff(before) == {}
+
+
+class TestLifecycle:
+    def test_never_analyzed_is_not_fresh(self, db):
+        assert fresh_statistics(db.table("orders")) is None
+
+    def test_analyze_makes_fresh(self, db):
+        db.analyze("orders")
+        stats = fresh_statistics(db.table("orders"))
+        assert stats is not None
+        assert stats.row_count == 100
+
+    def test_insert_stales(self, db):
+        db.analyze("orders")
+        db.run("INSERT INTO orders VALUES (500, 'CX', 3)")
+        assert fresh_statistics(db.table("orders")) is None
+
+    def test_delete_stales(self, db):
+        db.analyze("orders")
+        db.run("DELETE FROM orders WHERE orid = 7")
+        assert fresh_statistics(db.table("orders")) is None
+
+    def test_update_stales(self, db):
+        db.analyze("orders")
+        db.run("UPDATE orders SET value = 0 WHERE orid = 3")
+        assert fresh_statistics(db.table("orders")) is None
+
+    def test_reanalyze_refreshes(self, db):
+        db.analyze("orders")
+        db.run("INSERT INTO orders VALUES (500, 'CX', 3)")
+        db.analyze("orders")
+        stats = fresh_statistics(db.table("orders"))
+        assert stats is not None
+        assert stats.row_count == 101
+
+    def test_reads_do_not_stale(self, db):
+        db.analyze("orders")
+        db.execute("SELECT orid FROM orders WHERE cid = 'C1'").fetchall()
+        assert fresh_statistics(db.table("orders")) is not None
+
+
+class TestHistogram:
+    def test_fraction_below_uniform(self):
+        # 100 rows uniform over [0, 100) in 10 buckets.
+        hist = Histogram(0, 100, [10] * 10)
+        assert hist.fraction_below(0) == 0.0
+        assert hist.fraction_below(50) == pytest.approx(0.5)
+        assert hist.fraction_below(101) == 1.0
+
+    def test_fraction_below_interpolates_inside_bucket(self):
+        hist = Histogram(0, 10, [100, 0])
+        # Halfway through the first (only populated) bucket.
+        assert hist.fraction_below(2.5) == pytest.approx(0.5)
+
+    def test_fraction_below_skew(self):
+        hist = Histogram(0, 100, [90, 10])
+        assert hist.fraction_below(50) == pytest.approx(0.9)
+
+    def test_single_point_domain(self):
+        hist = Histogram(5, 5, [42])
+        assert hist.fraction_below(5) == 0.0
+        assert hist.fraction_below(6) == 1.0
+
+    def test_empty_histogram(self):
+        hist = Histogram(0, 10, [0, 0])
+        assert hist.fraction_below(7) == 0.0
+
+    def test_fraction_between(self):
+        hist = Histogram(0, 100, [10] * 10)
+        assert hist.fraction_between(20, 40) == pytest.approx(0.2)
+        assert hist.fraction_between(40, 20) == 0.0

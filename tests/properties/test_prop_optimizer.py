@@ -1,0 +1,130 @@
+"""Property tests: cost-based planning never changes answers.
+
+Every random instance is executed three ways — optimizer off
+(the seed's syntactic plan), optimizer on with defaults only, and
+optimizer on after ``ANALYZE`` — and all three must produce the same
+multiset of rows.  Random DML between runs exercises the staleness
+path: stale statistics may only cost performance, never correctness.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.relational import Database
+
+r_rows = st.lists(
+    st.tuples(
+        st.integers(0, 8),                       # a (join column, skewed)
+        st.integers(-20, 20),                    # b
+        st.sampled_from(["x", "y", "z"]),        # c
+    ),
+    min_size=0,
+    max_size=14,
+)
+s_rows = st.lists(
+    st.tuples(st.integers(0, 8), st.integers(-20, 20)),
+    min_size=0,
+    max_size=14,
+)
+operators = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+
+
+def build_db(r_data, s_data, with_index=False):
+    db = Database("prop")
+    db.run("CREATE TABLE r (a INT, b INT, c TEXT)")
+    db.run("CREATE TABLE s (d INT, e INT)")
+    for row in r_data:
+        db.run("INSERT INTO r VALUES ({}, {}, '{}')".format(*row))
+    for row in s_data:
+        db.run("INSERT INTO s VALUES ({}, {})".format(*row))
+    if with_index:
+        db.run("CREATE INDEX r_a ON r (a)")
+        db.run("CREATE INDEX s_d ON s (d)")
+    return db
+
+
+def all_plans(db, query):
+    """Sorted rows under syntactic / cost-default / cost-analyzed."""
+    db.optimizer = False
+    syntactic = sorted(db.execute(query).fetchall())
+    db.optimizer = True
+    cost_default = sorted(db.execute(query).fetchall())
+    db.analyze()
+    cost_analyzed = sorted(db.execute(query).fetchall())
+    return syntactic, cost_default, cost_analyzed
+
+
+@given(r_rows, s_rows)
+@settings(max_examples=80, deadline=None)
+def test_join_results_invariant_under_planning(r_data, s_data):
+    syntactic, cost_default, cost_analyzed = all_plans(
+        build_db(r_data, s_data),
+        "SELECT r.a, r.b, s.e FROM r, s WHERE r.a = s.d",
+    )
+    assert syntactic == cost_default == cost_analyzed
+
+
+@given(r_rows, s_rows, operators, st.integers(-20, 20))
+@settings(max_examples=60, deadline=None)
+def test_filtered_join_invariant_under_planning(r_data, s_data, op, cut):
+    query = (
+        "SELECT r.a, s.e FROM r, s"
+        " WHERE r.a = s.d AND r.b {} {}".format(op, cut)
+    )
+    syntactic, cost_default, cost_analyzed = all_plans(
+        build_db(r_data, s_data), query
+    )
+    assert syntactic == cost_default == cost_analyzed
+
+
+@given(r_rows, s_rows)
+@settings(max_examples=50, deadline=None)
+def test_three_way_join_invariant_under_planning(r_data, s_data):
+    query = (
+        "SELECT r.a, r2.c, s.e FROM r r, r r2, s s"
+        " WHERE r.a = r2.a AND r.a = s.d"
+    )
+    syntactic, cost_default, cost_analyzed = all_plans(
+        build_db(r_data, s_data), query
+    )
+    assert syntactic == cost_default == cost_analyzed
+
+
+@given(r_rows, s_rows)
+@settings(max_examples=50, deadline=None)
+def test_indexed_instance_invariant_under_planning(r_data, s_data):
+    query = "SELECT r.b, s.e FROM r, s WHERE r.a = s.d AND r.a = 3"
+    syntactic, cost_default, cost_analyzed = all_plans(
+        build_db(r_data, s_data, with_index=True), query
+    )
+    assert syntactic == cost_default == cost_analyzed
+
+
+@given(r_rows, s_rows, st.integers(0, 8))
+@settings(max_examples=50, deadline=None)
+def test_stale_statistics_still_correct(r_data, s_data, extra):
+    """DML after ANALYZE stales the statistics; answers must track the
+    new data, not the old snapshot."""
+    db = build_db(r_data, s_data)
+    db.analyze()
+    db.run("INSERT INTO r VALUES ({}, 0, 'x')".format(extra))
+    db.run("INSERT INTO s VALUES ({}, 7)".format(extra))
+    query = "SELECT r.a, s.e FROM r, s WHERE r.a = s.d"
+    db.optimizer = True
+    got = sorted(db.execute(query).fetchall())
+    r_all = list(r_data) + [(extra, 0, "x")]
+    s_all = list(s_data) + [(extra, 7)]
+    expected = sorted(
+        (a, e) for (a, b, c) in r_all for (d, e) in s_all if a == d
+    )
+    assert got == expected
+
+
+@given(r_rows)
+@settings(max_examples=40, deadline=None)
+def test_estimate_never_negative_and_bounded_for_scans(data):
+    db = build_db(data, [])
+    db.analyze()
+    est = db.estimate("SELECT a FROM r")
+    assert est == len(data)
+    filtered = db.estimate("SELECT a FROM r WHERE b < 0")
+    assert 0.0 <= filtered <= len(data) + 1e-9

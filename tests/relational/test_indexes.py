@@ -68,6 +68,68 @@ class TestIndexMaintenance:
         assert rows == [(3, "C3", 15)]
 
 
+class TestPrefixProbes:
+    """A composite index answers probes on any leading prefix."""
+
+    def test_prefix_probe_on_composite_index(self, db):
+        table = db.table("orders")
+        table.create_index(("cid", "value"))
+        rows = list(table.index_scan(("cid", "value"), ["C3"]))
+        assert len(rows) == 20
+        assert all(r[1] == "C3" for r in rows)
+
+    def test_prefix_probe_preserves_insertion_order(self, db):
+        table = db.table("orders")
+        table.create_index(("cid", "value"))
+        rows = list(table.index_scan(("cid", "value"), ["C3"]))
+        assert [r[0] for r in rows] == sorted(r[0] for r in rows)
+
+    def test_prefix_probe_counts_one_lookup(self, db):
+        table = db.table("orders")
+        table.create_index(("cid", "value"))
+        before = db.stats.snapshot()
+        rows = list(table.index_scan(("cid", "value"), ["C3"]))
+        delta = db.stats.diff(before)
+        assert delta[statnames.INDEX_LOOKUPS] == 1
+        assert delta[statnames.ROWS_SCANNED] == len(rows)
+
+    def test_empty_probe_rejected(self, db):
+        table = db.table("orders")
+        table.create_index(("cid", "value"))
+        with pytest.raises(SchemaError):
+            list(table.index_scan(("cid", "value"), []))
+
+    def test_overlong_probe_rejected(self, db):
+        table = db.table("orders")
+        table.create_index(("cid",))
+        with pytest.raises(SchemaError):
+            list(table.index_scan(("cid",), ["C3", 15]))
+
+    def test_prefix_probe_after_mutations(self, db):
+        table = db.table("orders")
+        table.create_index(("cid", "value"))
+        db.run("DELETE FROM orders WHERE cid = 'C3' AND value > 500")
+        db.run("INSERT INTO orders VALUES (1000, 'C3', 1)")
+        rows = list(table.index_scan(("cid", "value"), ["C3"]))
+        assert all(r[1] == "C3" for r in rows)
+        assert any(r[0] == 1000 for r in rows)
+        assert not any(r[2] > 500 for r in rows)
+
+    def test_executor_uses_prefix_when_only_first_column_bound(self, db):
+        db.run("CREATE INDEX by_cid_value ON orders (cid, value)")
+        before = db.stats.snapshot()
+        rows = db.execute(
+            "SELECT orid FROM orders WHERE cid = 'C3' AND value > 500"
+        ).fetchall()
+        delta = db.stats.diff(before)
+        assert delta[statnames.INDEX_LOOKUPS] == 1
+        # Only the C3 bucket chain is scanned, not all 200 rows.
+        assert delta[statnames.ROWS_SCANNED] == 20
+        assert all(
+            db.table("orders").lookup_key([r[0]])[2] > 500 for r in rows
+        )
+
+
 class TestIndexAwareExecution:
     def test_equality_query_uses_index(self, db):
         db.run("CREATE INDEX by_cid ON orders (cid)")

@@ -17,3 +17,44 @@ class TestCli:
 
     def test_usage_on_no_command(self, capsys):
         assert main([]) == 2
+
+
+class TestOptimizerCli:
+    def test_explain_analyze_flag_prints_counts_and_estimates(self, capsys):
+        assert main(["explain", "--analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "analyzed[s]: 2 tables" in out
+        assert "est=" in out and "act=" in out
+
+    def test_explain_without_analyze_has_no_estimates(self, capsys):
+        assert main(["explain"]) == 0
+        assert "est=" not in capsys.readouterr().out
+
+    def test_no_optimizer_explain_matches_default_unanalyzed(self, capsys):
+        import re
+
+        def masked(text):
+            return re.sub(r" time=[0-9.]+ms", "", text)
+
+        assert main(["explain"]) == 0
+        default = masked(capsys.readouterr().out)
+        assert main(["explain", "--no-optimizer"]) == 0
+        assert masked(capsys.readouterr().out) == default
+
+    def test_sql_select(self, capsys):
+        assert main(["sql", "SELECT id FROM customer ORDER BY id"]) == 0
+        out = capsys.readouterr().out
+        assert "-- 3 rows" in out
+
+    def test_sql_analyze(self, capsys):
+        assert main(["sql", "ANALYZE"]) == 0
+        assert "-- 2 tables analyzed" in capsys.readouterr().out
+
+    def test_sql_dml(self, capsys):
+        assert main(
+            ["sql", "INSERT INTO orders VALUES (99, 'C1', 5)"]
+        ) == 0
+        assert "-- 1 rows affected" in capsys.readouterr().out
+
+    def test_sql_error_reported(self, capsys):
+        assert main(["sql", "SELECT nope FROM nowhere"]) == 1
