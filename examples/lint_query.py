@@ -1,0 +1,88 @@
+"""Static analysis before execution: the schema-aware linter.
+
+The linter (:mod:`repro.analysis`) derives each wrapper document's
+shape from the relational catalog — ``document(root1)`` is a root of
+``customer`` tuple elements with ``id``/``name``/``addr`` fields — and
+walks a query's AST against it *without running anything*:
+
+1. **dead paths** (MIX-W001): ``$C/naem`` can never match a view that
+   exposes ``name`` — the classic typo that silently returns nothing;
+2. **type mismatches** (MIX-W002): a TEXT column compared with ``17``;
+3. **unsatisfiable predicates** (MIX-W003): contradictory bounds in one
+   WHERE clause, and — after ``ANALYZE`` — ranges provably outside the
+   column's fresh min/max statistics;
+4. **unused FOR variables** (MIX-W004) and a forgotten ``data()``
+   (MIX-W006).
+
+Every diagnostic carries the 1-based line/column of the offending
+expression.  The same checks back ``python -m repro lint <file.xq>``.
+
+Run:  python examples/lint_query.py
+"""
+
+from repro import Database, Mediator, RelationalWrapper
+from repro.analysis import render_text
+
+db = Database("paper")
+db.run("CREATE TABLE customer (id TEXT, name TEXT, addr TEXT,"
+       " PRIMARY KEY (id))")
+db.run("CREATE TABLE orders (orid INT, cid TEXT, value INT,"
+       " PRIMARY KEY (orid))")
+db.run("INSERT INTO customer VALUES ('XYZ', 'XYZInc.', 'LosAngeles'),"
+       " ('ABC', 'ABCInc.', 'SanDiego')")
+db.run("INSERT INTO orders VALUES (28904, 'XYZ', 2400),"
+       " (87456, 'ABC', 200000)")
+mediator = Mediator().add_source(
+    RelationalWrapper(db)
+    .register_document("root1", "customer")
+    .register_document("root2", "orders", element_label="order")
+)
+
+
+def show(title, query):
+    print("=" * 70)
+    print(title)
+    for number, line in enumerate(query.splitlines(), 1):
+        print("  {} | {}".format(number, line))
+    diagnostics = mediator.lint(query)
+    print(render_text(diagnostics) or "  (clean)")
+    print()
+
+
+# -- 1: a dead path — the typo that silently returns nothing -----------------------
+
+show("A misspelled field is a *dead path*, not an empty answer:", """\
+FOR $C IN source(root1)/customer
+    $N IN $C/naem
+RETURN <R> $N </R>""")
+
+# -- 2: predicates that can never be true ------------------------------------------
+
+show("A TEXT column compared with a number, and contradictory bounds:", """\
+FOR $C IN source(root1)/customer
+    $O IN document(root2)/order
+WHERE $C/addr/data() = 17
+  AND $O/value/data() > 100 AND $O/value/data() < 50
+RETURN <R> $C <O> $O </O> {$O} </R> {$C}""")
+
+# -- 3: statistics make more predicates decidable ----------------------------------
+
+OUT_OF_RANGE = """\
+FOR $O IN document(root2)/order
+WHERE $O/value/data() > 5000000
+RETURN <Big> $O </Big> {$O}"""
+
+show("Without statistics a large bound is merely improbable:",
+     OUT_OF_RANGE)
+
+mediator.analyze_sources()
+show("...after ANALYZE the fresh min/max makes it provably empty:",
+     OUT_OF_RANGE)
+
+# -- 4: unused variables and a forgotten data() ------------------------------------
+
+show("An unused FOR variable, and an element compared like a value:", """\
+FOR $C IN source(root1)/customer
+    $O IN document(root2)/order
+WHERE $C/id = "XYZ"
+RETURN <R> $C </R> {$C}""")

@@ -1,0 +1,3 @@
+FOR $O IN document(root2)/order
+WHERE $O/value/data() > 1000
+RETURN <BigOrder> $O </BigOrder> {$O}

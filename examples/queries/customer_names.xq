@@ -1,0 +1,3 @@
+FOR $C IN source(root1)/customer
+    $N IN $C/name
+RETURN <Name> $N </Name>

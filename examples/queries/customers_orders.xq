@@ -1,0 +1,4 @@
+FOR $C IN source(root1)/customer
+    $O IN document(root2)/order
+WHERE $C/id/data() = $O/cid/data()
+RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}

@@ -15,7 +15,16 @@ Commands:
   operator shows ``est=… act=…``;
 * ``sql``      — run SQL statements (including ``ANALYZE``) against the
   paper database: each quoted argument is one statement, or statements
-  are read from stdin one per line.
+  are read from stdin one per line;
+* ``lint``     — static schema-aware analysis of XQuery files against
+  the paper catalog (dead paths, unsatisfiable predicates, unused
+  variables; see :mod:`repro.analysis`); with no files, lints the
+  built-in Q1.  ``--json`` switches to the machine-readable report,
+  ``--analyze`` collects statistics first so range checks can fire,
+  ``--strict`` exits nonzero on warnings too;
+* ``check-plan`` — compile a query (default: the golden Fig. 22 Q1)
+  through translate → Table-2 rewrites → SQL split and run the static
+  plan verifier after every stage, printing a per-stage verdict.
 
 ``demo`` and ``explain`` accept ``--fault-profile=NAME`` (with optional
 ``--fault-seed=N``), which interposes a seeded
@@ -344,6 +353,103 @@ def cmd_explain(args=()):
     return 0
 
 
+def cmd_lint(args=()):
+    """Schema-aware static analysis of XQuery text (no execution).
+
+    With file arguments, lints each file against the paper catalog;
+    without, lints the built-in Q1.  Exit status 1 means at least one
+    error-severity diagnostic (parse failures included); ``--strict``
+    extends that to warnings, for CI gates over example corpora.
+    """
+    from repro.analysis import has_errors, render_json, render_text
+    from repro.errors import MixError
+
+    args = list(args)
+    as_json = "--json" in args
+    while "--json" in args:
+        args.remove("--json")
+    strict = "--strict" in args
+    while "--strict" in args:
+        args.remove("--strict")
+    analyze_first = "--analyze" in args
+    while "--analyze" in args:
+        args.remove("--analyze")
+    __, mediator = _paper_mediator()
+    if analyze_first:
+        mediator.analyze_sources()
+    inputs = []
+    if args:
+        for path in args:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    inputs.append((path, handle.read()))
+            except OSError as exc:
+                print("lint: cannot read {}: {}".format(path, exc),
+                      file=sys.stderr)
+                return 1
+    else:
+        inputs.append(("<Q1>", Q1))
+    status = 0
+    for name, text in inputs:
+        try:
+            diagnostics = mediator.lint(text)
+        except MixError as exc:
+            print("lint: {}: {}".format(name, exc), file=sys.stderr)
+            status = 1
+            continue
+        for diag in diagnostics:
+            diag.source = name
+        if as_json:
+            print(render_json(diagnostics))
+        elif diagnostics:
+            print(render_text(diagnostics))
+        else:
+            print("{}: clean".format(name))
+        if has_errors(diagnostics):
+            status = 1
+        elif strict and diagnostics:
+            status = 1
+    return status
+
+
+def cmd_check_plan(args=()):
+    """Verify a query's plan after every compilation stage.
+
+    Compiles the query (default: the built-in Q1) through
+    translate → Table-2 rewrites → SQL split against the paper catalog
+    and runs the static plan verifier after each stage; the first
+    violated dataflow invariant fails the command, naming the stage and
+    diagnostic code.
+    """
+    from repro.errors import MixError
+
+    args = list(args)
+    cost, args = _optimizer_options(args)
+    query = Q1
+    if args:
+        try:
+            with open(args[0], "r", encoding="utf-8") as handle:
+                query = handle.read()
+        except OSError as exc:
+            print("check-plan: cannot read {}: {}".format(args[0], exc),
+                  file=sys.stderr)
+            return 1
+    __, mediator = _paper_mediator(cost_optimizer=cost)
+    try:
+        report = mediator.verify_query(query)
+    except MixError as exc:
+        print("check-plan: {}".format(exc), file=sys.stderr)
+        return 1
+    for stage in report.stages:
+        print("  {:40s} {}".format(
+            stage.name, "ok" if stage.ok else "FAILED"))
+        for diag in stage.diagnostics:
+            print("    " + diag.render())
+    print("-- verified: {} stages{}".format(
+        report.stage_count, "" if report.ok else " (FAILED)"))
+    return 0 if report.ok else 1
+
+
 def cmd_sql(args=()):
     """A tiny SQL shell against the paper's Fig. 2 database.
 
@@ -390,13 +496,16 @@ def main(argv=None):
         "bench": cmd_bench,
         "explain": cmd_explain,
         "sql": cmd_sql,
+        "lint": cmd_lint,
+        "check-plan": cmd_check_plan,
     }
     if not argv or argv[0] not in commands:
         print(__doc__)
-        print("usage: python -m repro {demo|figures|bench|explain|sql}"
+        print("usage: python -m repro"
+              " {demo|figures|bench|explain|sql|lint|check-plan}"
               " [--fault-profile=" + "|".join(FAULT_PROFILES) +
               "] [--fault-seed=N] [--no-cache] [--cache-size=N]"
-              " [--no-optimizer] [--analyze]")
+              " [--no-optimizer] [--analyze] [--json] [--strict]")
         return 2
     return commands[argv[0]](argv[1:])
 

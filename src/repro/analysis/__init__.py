@@ -1,0 +1,71 @@
+"""Static analysis over XMAS plans and XQuery text (``repro.analysis``).
+
+Three passes:
+
+* the **plan verifier** (:func:`verify_plan`, :func:`assert_plan_verifies`)
+  infers the binding-list schema flowing through all 14 XMAS operators
+  and checks the dataflow invariants of Section 5;
+* the **pipeline verifier** (:func:`verify_query_pipeline`) re-runs the
+  plan verifier after every compilation stage — translate, each Table-2
+  rewrite step, SQL split — naming the stage that broke schema flow;
+* the **XQuery linter** (:func:`lint_query`) checks query text against
+  the schemas the relational wrapper catalog exports: dead paths,
+  unsatisfiable predicates, unused variables, each finding carrying
+  source line/column spans.
+
+All passes report through the shared :class:`Diagnostic` framework with
+stable codes (``MIX-E001``..., ``MIX-W001``...), rendered as compiler-style
+text or JSON.  The CLI surfaces them as ``python -m repro lint`` and
+``python -m repro check-plan``; ``Mediator(strict=True)`` runs the
+pipeline verifier on every compiled plan.
+"""
+
+from repro.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    ERROR,
+    INFO,
+    Span,
+    WARNING,
+    has_errors,
+    render_json,
+    render_text,
+    sort_diagnostics,
+)
+from repro.analysis.linter import (
+    DocumentSchema,
+    catalog_schemas,
+    lint_query,
+)
+from repro.analysis.pipeline import (
+    PipelineReport,
+    StageReport,
+    verify_query_pipeline,
+)
+from repro.analysis.verifier import (
+    assert_plan_verifies,
+    infer_schema,
+    verify_plan,
+)
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "DocumentSchema",
+    "ERROR",
+    "INFO",
+    "PipelineReport",
+    "Span",
+    "StageReport",
+    "WARNING",
+    "assert_plan_verifies",
+    "catalog_schemas",
+    "has_errors",
+    "infer_schema",
+    "lint_query",
+    "render_json",
+    "render_text",
+    "sort_diagnostics",
+    "verify_plan",
+    "verify_query_pipeline",
+]

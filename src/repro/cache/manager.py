@@ -64,11 +64,20 @@ class CacheManager:
     # -- plan cache --------------------------------------------------------------------
 
     def lookup_plan(self, key):
-        """``(hit, (exec_plan, compose_plan))`` for a plan key."""
+        """``(hit, (exec_plan, compose_plan, verified_stages))``.
+
+        ``verified_stages`` is the static-verifier stage count recorded
+        when the plan was compiled under ``Mediator(strict=True)``, or
+        ``None`` for unverified plans — hits reuse it instead of
+        re-verifying.
+        """
         return self.plan_cache.lookup(key)
 
-    def store_plan(self, key, exec_plan, compose_plan):
-        self.plan_cache.store(key, (exec_plan, compose_plan))
+    def store_plan(self, key, exec_plan, compose_plan,
+                   verified_stages=None):
+        self.plan_cache.store(
+            key, (exec_plan, compose_plan, verified_stages)
+        )
 
     # -- navigation memo --------------------------------------------------------------
 

@@ -26,6 +26,21 @@ class ParseError(MixError):
         self.text = text
         self.position = position
 
+    @property
+    def line(self):
+        """1-based line of the error, or ``None`` when untracked."""
+        if self.text is None or self.position is None:
+            return None
+        return self.text.count("\n", 0, self.position) + 1
+
+    @property
+    def column(self):
+        """1-based column of the error, or ``None`` when untracked."""
+        if self.text is None or self.position is None:
+            return None
+        last_newline = self.text.rfind("\n", 0, self.position)
+        return self.position - last_newline
+
 
 class XmlParseError(ParseError):
     """Malformed XML text."""
@@ -61,6 +76,22 @@ class TranslationError(MixError):
 
 class PlanError(MixError):
     """An XMAS plan is structurally invalid (unknown variable, arity, ...)."""
+
+
+class PlanVerificationError(PlanError):
+    """The static plan verifier rejected a plan.
+
+    Attributes:
+        diagnostics: the :class:`repro.analysis.Diagnostic` findings that
+            caused the rejection (at least one has severity ``error``).
+        stage: the pipeline stage whose output failed (``translate``, a
+            rewrite rule name, ``sql-split``, ...), when known.
+    """
+
+    def __init__(self, message, diagnostics=(), stage=None):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
+        self.stage = stage
 
 
 class EvaluationError(MixError):

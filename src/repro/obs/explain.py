@@ -95,6 +95,7 @@ def explain_analyze_with_trace(mediator, query_text, mask_times=False):
     # consulted exactly as a client query would (and the footer can
     # say whether compilation was skipped).
     exec_plan, __, plan_status = mediator.prepare(query_text)
+    verify_report = _verify_report(mediator, query_text)
     policy = getattr(mediator, "on_source_error", "raise")
     before = _resilience_snapshot(mediator.catalog)
     cache_before = _cache_snapshot(mediator.catalog)
@@ -118,6 +119,10 @@ def explain_analyze_with_trace(mediator, query_text, mask_times=False):
             cache_before, _cache_snapshot(mediator.catalog)
         )
         instrument.event("cache", "plan_cache={}".format(plan_status))
+        if verify_report is not None:
+            # Inside the command span: `explain --json` traces carry the
+            # static-verification verdict alongside the cache summary.
+            instrument.event("verify", _verify_summary(verify_report))
         for entry in cache_deltas:
             # Inside the command span: the JSON trace export carries the
             # per-source cache summary alongside the spans.
@@ -152,6 +157,8 @@ def explain_analyze_with_trace(mediator, query_text, mask_times=False):
         instrument.get("operator_tuples"), instrument.get("rq_statements")
     )
     footer += "\n-- plan_cache: {}".format(plan_status)
+    if verify_report is not None:
+        footer += "\n-- verified: {}".format(_verify_summary(verify_report))
     for entry in cache_deltas:
         footer += (
             "\n-- cache[{source}]: hits={hits} misses={misses} "
@@ -170,6 +177,23 @@ def explain_analyze_with_trace(mediator, query_text, mask_times=False):
             )
         )
     return text + "\n" + footer, instrument.last_trace(), exec_plan
+
+
+def _verify_report(mediator, query_text):
+    """The static per-stage verification report, or ``None`` for hosts
+    without the analysis subsystem (plain engine drivers in tests)."""
+    verify = getattr(mediator, "verify_query", None)
+    if not callable(verify):
+        return None
+    return verify(query_text)
+
+
+def _verify_summary(report):
+    """``<n> stages`` or a failure naming the first broken stage."""
+    if report.ok:
+        return "{} stages".format(report.stage_count)
+    first = next(d for d in report.diagnostics if d.is_error)
+    return "FAILED at {} ({})".format(report.failed_stage, first.code)
 
 
 _HEALTH_COUNTERS = (

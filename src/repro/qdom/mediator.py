@@ -60,12 +60,18 @@ class Mediator:
             the push-down, and the ``est=`` column of EXPLAIN ANALYZE.
             ``False`` (CLI ``--no-optimizer``) reproduces the seed's
             syntactic plans byte for byte.
+        strict: run the static plan verifier on every compiled plan, at
+            every pipeline stage (translate, each rewrite step, SQL
+            split).  A transformation that breaks binding-schema flow
+            raises :class:`~repro.errors.PlanVerificationError` naming
+            the offending stage.  Verification results are cached with
+            the plan, so warm plan-cache hits never re-verify.
     """
 
     def __init__(self, catalog=None, stats=None, optimize=True,
                  push_sql=True, lazy=True, dedup_groups=False,
                  on_source_error="raise", cache=False, cache_size=128,
-                 cost_optimizer=True):
+                 cost_optimizer=True, strict=False):
         if on_source_error not in ("raise", "degrade"):
             raise ValueError(
                 "on_source_error must be 'raise' or 'degrade', "
@@ -79,6 +85,10 @@ class Mediator:
         self.lazy = lazy
         self.on_source_error = on_source_error
         self.cost_optimizer = cost_optimizer
+        self.strict = strict
+        #: Stage count of the most recent verification (a strict compile
+        #: or a plan-cache hit on a verified entry); ``None`` otherwise.
+        self.last_verified_stages = None
         self.cache_size = cache_size
         if cache and cache_size:
             from repro.cache import CacheManager
@@ -287,14 +297,58 @@ class Mediator:
         if key is not None:
             hit, cached = self.cache.lookup_plan(key)
             if hit:
+                # Verification is cached with the plan: a warm hit
+                # reuses the stored stage count instead of re-verifying.
+                self.last_verified_stages = cached[2]
                 return cached[0], cached[1], "hit"
         plan = self.translate(query_text)
         plan = self._expand_views(plan)
-        exec_plan, compose_plan = self.optimize_plan(plan)
+        verified_stages = None
+        if self.strict:
+            exec_plan, compose_plan, verified_stages = (
+                self._compile_verified(plan)
+            )
+        else:
+            exec_plan, compose_plan = self.optimize_plan(plan)
+        self.last_verified_stages = verified_stages
         if key is not None:
-            self.cache.store_plan(key, exec_plan, compose_plan)
+            self.cache.store_plan(
+                key, exec_plan, compose_plan,
+                verified_stages=verified_stages,
+            )
             return exec_plan, compose_plan, "miss"
         return exec_plan, compose_plan, "off"
+
+    def _compile_verified(self, plan):
+        """Rewrite/push ``plan`` with the static verifier run after
+        every stage; returns ``(exec_plan, compose_plan, stages)``.
+
+        Raises :class:`~repro.errors.PlanVerificationError` (naming the
+        stage, and for rewrites the rule) as soon as a stage's output
+        breaks binding-schema flow.
+        """
+        from repro.analysis import assert_plan_verifies
+
+        with self.obs.timer("verify"):
+            assert_plan_verifies(
+                plan, catalog=self.catalog, stage="translate"
+            )
+        stages = 1
+        trace = [] if self.optimize else None
+        exec_plan, compose_plan = self.optimize_plan(plan, trace=trace)
+        with self.obs.timer("verify"):
+            for step in trace or ():
+                assert_plan_verifies(
+                    step.plan, catalog=self.catalog,
+                    stage="rewrite[{}]".format(step.rule_name),
+                )
+                stages += 1
+            if self.push_sql:
+                assert_plan_verifies(
+                    exec_plan, catalog=self.catalog, stage="sql-split"
+                )
+                stages += 1
+        return exec_plan, compose_plan, stages
 
     def translate(self, query_text, assign_root=True):
         """XQuery text (or parsed AST) to a validated XMAS plan."""
@@ -348,6 +402,31 @@ class Mediator:
             self.catalog, stats=self.stats, on_source_error=policy
         )
         return engine.evaluate_tree(exec_plan)
+
+    # -- static analysis --------------------------------------------------------------
+
+    def verify_query(self, query_text):
+        """Per-stage static verification of ``query_text``'s pipeline.
+
+        Recompiles outside the plan cache (without consuming a view id,
+        so repeated calls never perturb plan naming) and runs the plan
+        verifier after translate, after every rewrite step, and after
+        the SQL split.  Returns a
+        :class:`~repro.analysis.PipelineReport`.
+        """
+        from repro.analysis import verify_query_pipeline
+
+        return verify_query_pipeline(self, query_text)
+
+    def lint(self, query_text):
+        """Schema-aware lint of ``query_text`` against this mediator's
+        catalog and views; returns a list of
+        :class:`~repro.analysis.Diagnostic`."""
+        from repro.analysis import lint_query
+
+        return lint_query(
+            query_text, catalog=self.catalog, views=self.view_names()
+        )
 
     # -- observability ---------------------------------------------------------------
 

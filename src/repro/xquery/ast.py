@@ -1,8 +1,51 @@
-"""AST of the XQuery subset (paper Fig. 4)."""
+"""AST of the XQuery subset (paper Fig. 4).
+
+Nodes carry an optional :class:`Span` (1-based line/column range in the
+original query text) set by the parser, so parse errors and lint
+diagnostics can point at the offending source location.  Spans never
+participate in equality: two structurally identical queries compare
+equal regardless of formatting.
+"""
 
 from __future__ import annotations
 
 from repro.xmltree.paths import Path
+
+
+class Span:
+    """A 1-based (line, column) source position, optionally a range."""
+
+    __slots__ = ("line", "column", "end_line", "end_column")
+
+    def __init__(self, line, column, end_line=None, end_column=None):
+        self.line = line
+        self.column = column
+        self.end_line = end_line
+        self.end_column = end_column
+
+    def to_dict(self):
+        out = {"line": self.line, "column": self.column}
+        if self.end_line is not None:
+            out["end_line"] = self.end_line
+        if self.end_column is not None:
+            out["end_column"] = self.end_column
+        return out
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Span)
+            and self.line == other.line
+            and self.column == other.column
+            and self.end_line == other.end_line
+            and self.end_column == other.end_column
+        )
+
+    def __hash__(self):
+        return hash((self.line, self.column, self.end_line,
+                     self.end_column))
+
+    def __repr__(self):
+        return "{}:{}".format(self.line, self.column)
 
 
 class DocRoot:
@@ -46,11 +89,12 @@ class VarRoot:
 class PathOperand:
     """A rooted path expression: root plus a :class:`Path` of steps."""
 
-    __slots__ = ("root", "path")
+    __slots__ = ("root", "path", "span")
 
-    def __init__(self, root, path):
+    def __init__(self, root, path, span=None):
         self.root = root
         self.path = path if isinstance(path, Path) else Path.parse(path)
+        self.span = span
 
     @property
     def is_bare_var(self):
@@ -72,10 +116,11 @@ class PathOperand:
 class Literal:
     """A constant operand in a WHERE condition."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "span")
 
-    def __init__(self, value):
+    def __init__(self, value, span=None):
         self.value = value
+        self.span = span
 
     def __repr__(self):
         if isinstance(self.value, str):
@@ -89,11 +134,12 @@ class Literal:
 class ForBinding:
     """``$V IN pathExpr``."""
 
-    __slots__ = ("var", "operand")
+    __slots__ = ("var", "operand", "span")
 
-    def __init__(self, var, operand):
+    def __init__(self, var, operand, span=None):
         self.var = var
         self.operand = operand
+        self.span = span
 
     def __repr__(self):
         return "{} IN {!r}".format(self.var, self.operand)
@@ -102,12 +148,13 @@ class ForBinding:
 class Comparison:
     """One WHERE conjunct: ``operand relop operand``."""
 
-    __slots__ = ("left", "op", "right")
+    __slots__ = ("left", "op", "right", "span")
 
-    def __init__(self, left, op, right):
+    def __init__(self, left, op, right, span=None):
         self.left = left
         self.op = "!=" if op == "<>" else op
         self.right = right
+        self.span = span
 
     def __repr__(self):
         return "{!r} {} {!r}".format(self.left, self.op, self.right)
@@ -116,10 +163,11 @@ class Comparison:
 class VarRef:
     """A bare variable in element content (``Element := Variable``)."""
 
-    __slots__ = ("var",)
+    __slots__ = ("var", "span")
 
-    def __init__(self, var):
+    def __init__(self, var, span=None):
         self.var = var
+        self.span = span
 
     def free_vars(self):
         return {self.var}
@@ -131,12 +179,13 @@ class VarRef:
 class ElemExpr:
     """``<Label> content... </Label> {group-by list}``."""
 
-    __slots__ = ("label", "contents", "group_by")
+    __slots__ = ("label", "contents", "group_by", "span")
 
-    def __init__(self, label, contents, group_by=()):
+    def __init__(self, label, contents, group_by=(), span=None):
         self.label = label
         self.contents = list(contents)
         self.group_by = tuple(group_by)
+        self.span = span
 
     def free_vars(self):
         out = set()
@@ -155,12 +204,13 @@ class ElemExpr:
 class QueryExpr:
     """A whole FOR/WHERE/RETURN query (possibly nested in content)."""
 
-    __slots__ = ("for_bindings", "conditions", "ret")
+    __slots__ = ("for_bindings", "conditions", "ret", "span")
 
-    def __init__(self, for_bindings, conditions, ret):
+    def __init__(self, for_bindings, conditions, ret, span=None):
         self.for_bindings = list(for_bindings)
         self.conditions = list(conditions)
         self.ret = ret
+        self.span = span
 
     def free_vars(self):
         """Variables used but not bound by this query's FOR clause."""

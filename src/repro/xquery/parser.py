@@ -34,6 +34,34 @@ class _Scanner:
         self.text = _strip_comments(text)
         self.pos = 0
         self.depth = 0
+        # Line-start offsets for O(log n) position -> (line, column);
+        # _strip_comments preserves line structure, so offsets into the
+        # stripped text map 1:1 onto the user's source lines.
+        starts = [0]
+        for i, ch in enumerate(self.text):
+            if ch == "\n":
+                starts.append(i + 1)
+        self._line_starts = starts
+
+    def line_col(self, pos=None):
+        """1-based (line, column) of ``pos`` (default: current)."""
+        from bisect import bisect_right
+
+        if pos is None:
+            pos = self.pos
+        line = bisect_right(self._line_starts, pos)
+        return line, pos - self._line_starts[line - 1] + 1
+
+    def mark(self):
+        """The offset of the next token (whitespace skipped)."""
+        self.skip_ws()
+        return self.pos
+
+    def span_from(self, start):
+        """A :class:`Span` covering ``start`` .. current position."""
+        line, column = self.line_col(start)
+        end_line, end_column = self.line_col(self.pos)
+        return ast.Span(line, column, end_line, end_column)
 
     def enter(self):
         self.depth += 1
@@ -63,8 +91,13 @@ class _Scanner:
 
     def error(self, message):
         context = self.text[max(0, self.pos - 20) : self.pos + 20]
+        line, column = self.line_col()
         return XQueryParseError(
-            "{} (near {!r})".format(message, context), self.text, self.pos
+            "{} at line {}, column {} (near {!r})".format(
+                message, line, column, context
+            ),
+            self.text,
+            self.pos,
         )
 
     # -- token helpers ------------------------------------------------------------
@@ -144,6 +177,7 @@ def parse_xquery(text):
 
 def _parse_query(scanner):
     scanner.enter()
+    start = scanner.mark()
     try:
         scanner.expect_keyword("FOR")
         bindings = [_parse_for_binding(scanner)]
@@ -160,23 +194,26 @@ def _parse_query(scanner):
                 conditions.append(_parse_condition(scanner))
         scanner.expect_keyword("RETURN")
         ret = _parse_element(scanner)
-        return ast.QueryExpr(bindings, conditions, ret)
+        return ast.QueryExpr(
+            bindings, conditions, ret, span=scanner.span_from(start)
+        )
     finally:
         scanner.leave()
 
 
 def _parse_for_binding(scanner):
+    start = scanner.mark()
     var = scanner.parse_variable()
     scanner.expect_keyword("IN")
     operand = _parse_path_operand(scanner)
     if not isinstance(operand, ast.PathOperand):
         raise scanner.error("FOR needs a path expression")
-    return ast.ForBinding(var, operand)
+    return ast.ForBinding(var, operand, span=scanner.span_from(start))
 
 
 def _parse_path_operand(scanner):
     """A rooted path: document(...)/..., source(...)/..., or $V/..."""
-    scanner.skip_ws()
+    start = scanner.mark()
     if scanner.at_keyword("DOCUMENT") or scanner.at_keyword("SOURCE"):
         name = scanner.parse_name()  # 'document' or 'source'
         del name
@@ -204,10 +241,11 @@ def _parse_path_operand(scanner):
         steps.append(Step(Step.LABEL, scanner.parse_name()))
     if isinstance(root, ast.DocRoot) and not steps:
         raise scanner.error("document(...) must be followed by a path")
-    return ast.PathOperand(root, Path(steps))
+    return ast.PathOperand(root, Path(steps), span=scanner.span_from(start))
 
 
 def _parse_condition(scanner):
+    start = scanner.mark()
     left = _parse_condition_operand(scanner)
     scanner.skip_ws()
     op = None
@@ -219,11 +257,14 @@ def _parse_condition(scanner):
     if op is None:
         raise scanner.error("expected a comparison operator")
     right = _parse_condition_operand(scanner)
-    return ast.Comparison(left, op, right)
+    return ast.Comparison(
+        left, op, right, span=scanner.span_from(start)
+    )
 
 
 def _parse_condition_operand(scanner):
     ch = scanner.peek_char()
+    start = scanner.mark()
     if ch == '"' or ch == "'":
         quote = ch
         scanner.pos += 1
@@ -232,9 +273,10 @@ def _parse_condition_operand(scanner):
             raise scanner.error("unterminated string literal")
         value = scanner.text[scanner.pos : end]
         scanner.pos = end + 1
-        return ast.Literal(value)
+        return ast.Literal(value, span=scanner.span_from(start))
     if ch.isdigit() or (ch in "+-"):
-        return ast.Literal(_parse_number(scanner))
+        value = _parse_number(scanner)
+        return ast.Literal(value, span=scanner.span_from(start))
     operand = _parse_path_operand(scanner)
     if operand is None:
         raise scanner.error("expected a path or literal")
@@ -267,9 +309,10 @@ def _parse_number(scanner):
 
 def _parse_element(scanner):
     """``Element := <L> ElementList </L> OptGroupBy | Variable``."""
+    start = scanner.mark()
     var = scanner.accept_variable()
     if var is not None:
-        return ast.VarRef(var)
+        return ast.VarRef(var, span=scanner.span_from(start))
     scanner.enter()
     try:
         return _parse_tagged_element(scanner)
@@ -278,6 +321,7 @@ def _parse_element(scanner):
 
 
 def _parse_tagged_element(scanner):
+    start = scanner.mark()
     scanner.expect_text("<")
     label = scanner.parse_name()
     scanner.expect_text(">")
@@ -297,7 +341,9 @@ def _parse_tagged_element(scanner):
             "mismatched tags <{}> ... </{}>".format(label, closing)
         )
     group_by = _parse_group_by(scanner)
-    return ast.ElemExpr(label, contents, group_by)
+    return ast.ElemExpr(
+        label, contents, group_by, span=scanner.span_from(start)
+    )
 
 
 def _parse_content(scanner):

@@ -1,0 +1,165 @@
+"""Per-stage pipeline verification and ``Mediator(strict=True)``.
+
+Locks in the satellite guarantee that *every* seed pipeline output —
+after translation, after each Table-2 rewrite step, after the SQL
+split — satisfies the verifier's dataflow invariants, with the cost
+optimizer both on and off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import Q1, Q12, make_paper_wrapper
+
+from repro import Mediator
+from repro.analysis import PipelineReport, StageReport, Diagnostic
+from repro.errors import PlanVerificationError
+
+VIEW_QUERY = Q1
+
+
+def mediator_with(**kwargs):
+    return Mediator(**kwargs).add_source(make_paper_wrapper())
+
+
+class TestVerifyQueryPipeline:
+    @pytest.mark.parametrize("cost", [True, False])
+    def test_q1_verifies_at_every_stage(self, cost):
+        report = mediator_with(cost_optimizer=cost).verify_query(Q1)
+        assert report.ok
+        assert report.failed_stage is None
+        assert report.raise_if_failed() is report
+        names = [stage.name for stage in report.stages]
+        assert names[0] == "translate"
+        assert names[-1] == "sql-split"
+
+    @pytest.mark.parametrize("cost", [True, False])
+    def test_composed_view_verifies_through_every_rewrite(self, cost):
+        # The Fig. 12 composition drives the full Table-2 rewrite walk:
+        # each fired rule contributes one named stage, and each stage's
+        # output plan must satisfy the schema-flow invariants.
+        mediator = mediator_with(cost_optimizer=cost)
+        mediator.define_view("rootv", VIEW_QUERY)
+        report = mediator.verify_query(Q12)
+        assert report.ok
+        rewrites = [
+            s.name for s in report.stages if s.name.startswith("rewrite[")
+        ]
+        assert len(rewrites) >= 5
+        assert any("compose-mksrc-tD" in name for name in rewrites)
+
+    def test_without_rewriting_only_translate_and_split(self):
+        report = mediator_with(optimize=False).verify_query(Q1)
+        assert [s.name for s in report.stages] == ["translate", "sql-split"]
+        assert report.ok
+
+    def test_without_pushdown_no_split_stage(self):
+        report = mediator_with(push_sql=False).verify_query(Q1)
+        assert "sql-split" not in [s.name for s in report.stages]
+        assert report.ok
+
+    def test_verify_query_does_not_perturb_the_mediator(self):
+        # EXPLAIN's golden output depends on the first real query being
+        # view1: verification must not consume view ids or cache slots.
+        mediator = mediator_with()
+        mediator.verify_query(Q1)
+        plan = mediator.translate(Q1)
+        assert "view1" in repr(plan)
+
+
+class TestReportObjects:
+    def _failed_report(self):
+        bad = StageReport(
+            "rewrite[r3]", None,
+            [Diagnostic("MIX-E004", "gBy key $X not in schema")],
+        )
+        ok = StageReport("translate", None, [])
+        return PipelineReport("q", [ok, bad])
+
+    def test_failed_stage_and_ok(self):
+        report = self._failed_report()
+        assert not report.ok
+        assert report.failed_stage == "rewrite[r3]"
+        assert report.stage_count == 2
+        assert [d.code for d in report.diagnostics] == ["MIX-E004"]
+
+    def test_raise_if_failed_names_stage_and_code(self):
+        with pytest.raises(PlanVerificationError) as err:
+            self._failed_report().raise_if_failed()
+        assert "rewrite[r3]" in str(err.value)
+        assert "MIX-E004" in str(err.value)
+        assert err.value.stage == "rewrite[r3]"
+
+    def test_warnings_do_not_fail_a_stage(self):
+        stage = StageReport(
+            "translate", None, [Diagnostic("MIX-W001", "dead")]
+        )
+        assert stage.ok
+        assert PipelineReport("q", [stage]).ok
+
+    def test_reprs_show_the_verdict(self):
+        report = self._failed_report()
+        assert repr(report) == "PipelineReport(2 stages, FAILED)"
+        assert repr(report.stages[0]) == "StageReport(translate: ok)"
+        assert repr(report.stages[1]) == "StageReport(rewrite[r3]: FAILED)"
+
+
+class TestStrictMediator:
+    def test_strict_compiles_and_answers_like_default(self):
+        strict = mediator_with(strict=True)
+        loose = mediator_with()
+        assert strict.explain(Q1, mask_times=True) == loose.explain(
+            Q1, mask_times=True
+        )
+
+    def test_strict_records_verified_stage_count(self):
+        mediator = mediator_with(strict=True)
+        mediator.prepare(Q1)
+        assert mediator.last_verified_stages == 2
+
+    def test_default_mediator_does_not_verify(self):
+        mediator = mediator_with()
+        mediator.prepare(Q1)
+        assert mediator.last_verified_stages is None
+
+    def test_plan_cache_carries_the_verification(self):
+        mediator = mediator_with(strict=True, cache=True)
+        mediator.prepare(Q1)
+        first = mediator.last_verified_stages
+        mediator.last_verified_stages = None
+        __, __, status = mediator.prepare(Q1)
+        assert status == "hit"
+        assert mediator.last_verified_stages == first
+
+    def test_strict_verification_is_timed(self):
+        # The strict-mode checks run under their own obs timer, so
+        # their cost shows up in snapshots next to translate/rewrite.
+        mediator = mediator_with(strict=True)
+        mediator.prepare(Q1)
+        assert mediator.obs.elapsed("verify") > 0.0
+        assert mediator_with().obs.elapsed("verify") == 0.0
+
+    def test_strict_view_composition_verifies_all_rewrites(self):
+        mediator = mediator_with(strict=True)
+        mediator.define_view("rootv", VIEW_QUERY)
+        mediator.prepare(Q12)
+        assert mediator.last_verified_stages > 2
+
+
+class TestExplainFooter:
+    def test_explain_reports_verified_stages(self):
+        text = mediator_with().explain(Q1, mask_times=True)
+        assert text.endswith("-- verified: 2 stages")
+
+    def test_composed_explain_counts_rewrite_stages(self):
+        mediator = mediator_with()
+        mediator.define_view("rootv", VIEW_QUERY)
+        text = mediator.explain(Q12, mask_times=True)
+        footer = [
+            line for line in text.splitlines()
+            if line.startswith("-- verified:")
+        ]
+        assert len(footer) == 1
+        stages = int(footer[0].split()[2])
+        assert stages > 2

@@ -27,11 +27,13 @@ tD($V9, view1)   [tuples=3]
           rQ(s, <sql>, {$C={1,2,3}; $O={4,5,6}})   [tuples=4]
               sql: SELECT c1.id, c1.name, c1.addr, o1.orid, o1.cid, o1.value FROM customer c1, orders o1 WHERE c1.id = o1.cid ORDER BY c1.id, o1.orid
 -- tuples=24 rq_statements=1
--- plan_cache: off"""
+-- plan_cache: off
+-- verified: 2 stages"""
 
 GOLDEN_Q1_EXPLAIN_WARM_FOOTER = """\
 -- tuples=24 rq_statements=1
 -- plan_cache: hit
+-- verified: 2 stages
 -- cache[s]: hits=1 misses=0 evictions=0 invalidations=0 \
 tuples_shipped=0 tuples_from_cache=4"""
 

@@ -93,7 +93,11 @@ def build_mediator(customers, orders, lazy):
         .register_document("root1", "customer")
         .register_document("root2", "orders", element_label="order")
     )
-    return inst, Mediator(stats=inst, lazy=lazy).add_source(wrapper)
+    # strict=True: every plan this harness compiles is additionally
+    # checked by the static verifier after each pipeline stage.
+    return inst, Mediator(
+        stats=inst, lazy=lazy, strict=True
+    ).add_source(wrapper)
 
 
 def canonical(tree):

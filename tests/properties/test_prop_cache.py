@@ -84,8 +84,12 @@ def fresh_pair():
             .register_document("root2", "orders", element_label="order")
         )
 
-    cached = Mediator(stats=Instrument(), cache=True).add_source(wrap())
-    cold = Mediator(stats=Instrument()).add_source(wrap())
+    # strict=True: every compiled plan (cold and cached alike) passes
+    # the static verifier; warm hits reuse the cached verification.
+    cached = Mediator(
+        stats=Instrument(), cache=True, strict=True
+    ).add_source(wrap())
+    cold = Mediator(stats=Instrument(), strict=True).add_source(wrap())
     for mediator in (cached, cold):
         mediator.define_view("vw", VIEW_DEFS[0])
     return db, cached, cold

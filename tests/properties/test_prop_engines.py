@@ -7,6 +7,12 @@ These are the library's load-bearing invariants (DESIGN.md §4):
    SQL push-down (set mode) preserves the set of results;
 3. decontextualized in-place queries equal the same query over the
    materialized subtree.
+
+Every plan an instance generates additionally passes the static plan
+verifier (:mod:`repro.analysis`) at each pipeline stage — translation,
+each fired rewrite rule, SQL push-down — so a rewrite that breaks the
+binding-schema dataflow fails the property with the rule named even
+when the differential check happens to still agree.
 """
 
 from hypothesis import given, settings, strategies as st
@@ -14,12 +20,31 @@ from hypothesis import given, settings, strategies as st
 from repro.relational import Database
 from repro.sources import RelationalWrapper, SourceCatalog, XmlFileSource
 from repro.algebra.translator import translate_query
+from repro.analysis import assert_plan_verifies
 from repro.composer import compose_at_root, decontextualize
 from repro.engine.eager import EagerEngine
 from repro.engine.lazy import LazyEngine
 from repro.engine.vtree import VNode, vnode_to_tree
 from repro.rewriter import Rewriter, push_to_sources
 from repro.xmltree import deep_equals, serialize
+
+
+def verified(plan, catalog=None, stage=None):
+    """The plan itself, after the static verifier accepts it."""
+    assert_plan_verifies(plan, catalog=catalog, stage=stage)
+    return plan
+
+
+def rewrite_verified(rewriter, plan, catalog=None):
+    """Rewrite with a trace, verifying the output of every fired rule."""
+    trace = []
+    out = rewriter.rewrite(plan, trace=trace)
+    for step in trace:
+        assert_plan_verifies(
+            step.plan, catalog=catalog,
+            stage="rewrite[{}]".format(step.rule_name),
+        )
+    return out
 
 
 # -- random database instances ----------------------------------------------------
@@ -136,7 +161,10 @@ def canonical(tree):
 @given(customer_rows, order_rows, simple_queries)
 @settings(max_examples=40, deadline=None)
 def test_lazy_walk_equals_eager(customers, orders, query):
-    plan = translate_query(query, root_oid="res")
+    plan = verified(
+        translate_query(query, root_oid="res"),
+        catalog=make_catalog(customers, orders), stage="translate",
+    )
     eager_tree = EagerEngine(make_catalog(customers, orders)).evaluate_tree(
         plan
     )
@@ -149,22 +177,38 @@ def test_lazy_walk_equals_eager(customers, orders, query):
 @given(customer_rows, order_rows, simple_queries)
 @settings(max_examples=30, deadline=None)
 def test_sql_pushdown_preserves_results(customers, orders, query):
-    plan = translate_query(query, root_oid="res")
     catalog = make_catalog(customers, orders)
-    pushed = push_to_sources(plan, catalog)
-    eager = EagerEngine(catalog)
-    assert canonical(eager.evaluate_tree(plan)) == canonical(
-        eager.evaluate_tree(pushed)
+    plan = verified(
+        translate_query(query, root_oid="res"),
+        catalog=catalog, stage="translate",
     )
+    # Both planning modes must produce verifiable splits; the cost-based
+    # one additionally reorders joins from ANALYZE statistics.
+    pushed = verified(
+        push_to_sources(plan, catalog), catalog=catalog, stage="sql-split"
+    )
+    for source in catalog.sources():
+        source.analyze()
+    cost_pushed = verified(
+        push_to_sources(plan, catalog, cost=True),
+        catalog=catalog, stage="sql-split",
+    )
+    eager = EagerEngine(catalog)
+    reference = canonical(eager.evaluate_tree(plan))
+    assert reference == canonical(eager.evaluate_tree(pushed))
+    assert reference == canonical(eager.evaluate_tree(cost_pushed))
 
 
 @given(customer_rows, order_rows, root_queries)
 @settings(max_examples=30, deadline=None)
 def test_rewrite_soundness_multiset(customers, orders, query):
-    naive = compose_at_root(
-        translate_query(VIEW, root_oid="rootv"), translate_query(query)
+    naive = verified(
+        compose_at_root(
+            translate_query(VIEW, root_oid="rootv"), translate_query(query)
+        ),
+        stage="translate",
     )
-    optimized = Rewriter(set_semantics=False).rewrite(naive)
+    optimized = rewrite_verified(Rewriter(set_semantics=False), naive)
     eager = EagerEngine(make_catalog(customers, orders))
     naive_tree = eager.evaluate_tree(naive)
     optimized_tree = eager.evaluate_tree(optimized)
@@ -174,12 +218,18 @@ def test_rewrite_soundness_multiset(customers, orders, query):
 @given(customer_rows, order_rows, root_queries)
 @settings(max_examples=30, deadline=None)
 def test_rewrite_soundness_set(customers, orders, query):
-    naive = compose_at_root(
-        translate_query(VIEW, root_oid="rootv"), translate_query(query)
+    naive = verified(
+        compose_at_root(
+            translate_query(VIEW, root_oid="rootv"), translate_query(query)
+        ),
+        stage="translate",
     )
-    optimized = Rewriter().rewrite(naive)
     catalog = make_catalog(customers, orders)
-    final = push_to_sources(optimized, catalog)
+    optimized = rewrite_verified(Rewriter(), naive, catalog=catalog)
+    final = verified(
+        push_to_sources(optimized, catalog), catalog=catalog,
+        stage="sql-split",
+    )
     eager = EagerEngine(catalog)
     naive_set = set(canonical(eager.evaluate_tree(naive)))
     final_set = set(canonical(eager.evaluate_tree(final)))
@@ -201,8 +251,11 @@ def test_decontextualization_equals_materialized_subtree(
         node = node.right()
     if node is None:
         return  # fewer results than the index; nothing to test
-    composed = decontextualize(
-        view, node.require_query_root(), translate_query(query)
+    composed = verified(
+        decontextualize(
+            view, node.require_query_root(), translate_query(query)
+        ),
+        catalog=catalog, stage="decontextualize",
     )
     decon_tree = EagerEngine(catalog).evaluate_tree(composed)
 

@@ -66,7 +66,7 @@ def injected_catalog(seed, rate):
 def fault_free_answer(query, lazy=True):
     mediator = Mediator(
         catalog=SourceCatalog().register(make_paper_wrapper()),
-        push_sql=False, lazy=lazy,
+        push_sql=False, lazy=lazy, strict=True,
     )
     return mediator.query(query).to_tree()
 
@@ -76,7 +76,8 @@ def fault_free_answer(query, lazy=True):
 def test_degraded_tree_strips_to_fault_free(seed, rate, query):
     __, catalog = injected_catalog(seed, rate)
     mediator = Mediator(
-        catalog=catalog, push_sql=False, on_source_error="degrade"
+        catalog=catalog, push_sql=False, on_source_error="degrade",
+        strict=True,
     )
     degraded = mediator.query(query).to_tree()
     clean = fault_free_answer(query)
@@ -91,7 +92,7 @@ def test_degraded_eager_tree_strips_to_fault_free(seed, rate, query):
     __, catalog = injected_catalog(seed, rate)
     mediator = Mediator(
         catalog=catalog, push_sql=False, lazy=False,
-        on_source_error="degrade",
+        on_source_error="degrade", strict=True,
     )
     degraded = mediator.query(query).to_tree()
     clean = fault_free_answer(query, lazy=False)
@@ -106,7 +107,8 @@ def test_degraded_stub_free_subtrees_match_fault_free(seed, rate, query):
     # fault-free children, in order; the rest mark failed attempts.
     __, catalog = injected_catalog(seed, rate)
     mediator = Mediator(
-        catalog=catalog, push_sql=False, on_source_error="degrade"
+        catalog=catalog, push_sql=False, on_source_error="degrade",
+        strict=True,
     )
     degraded = mediator.query(query).to_tree()
     clean = fault_free_answer(query)
@@ -133,7 +135,8 @@ def test_retry_budget_absorbs_faults_byte_identically(seed, rate, query):
         faulty, retry=RetryPolicy(attempts=3, sleep=clock.sleep)
     )
     mediator = Mediator(
-        catalog=SourceCatalog().register(resilient), push_sql=False
+        catalog=SourceCatalog().register(resilient), push_sql=False,
+        strict=True,
     )
     answer = mediator.query(query).to_tree()
     assert serialize(answer) == serialize(fault_free_answer(query))

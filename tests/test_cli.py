@@ -58,3 +58,95 @@ class TestOptimizerCli:
 
     def test_sql_error_reported(self, capsys):
         assert main(["sql", "SELECT nope FROM nowhere"]) == 1
+
+
+WARNY_QUERY = (
+    "FOR $C IN source(root1)/customer\n"
+    "    $N IN $C/naem\n"
+    "RETURN <R> $C </R>"
+)
+
+
+class TestAnalysisCli:
+    def test_lint_default_query_is_clean(self, capsys):
+        assert main(["lint"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_flags_warnings_but_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "warny.xq"
+        path.write_text(WARNY_QUERY)
+        assert main(["lint", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "MIX-W001" in out and "MIX-W004" in out
+        assert "warny.xq:2:" in out
+
+    def test_lint_strict_fails_on_warnings(self, tmp_path, capsys):
+        path = tmp_path / "warny.xq"
+        path.write_text(WARNY_QUERY)
+        assert main(["lint", "--strict", str(path)]) == 1
+
+    def test_lint_json_report(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "warny.xq"
+        path.write_text(WARNY_QUERY)
+        assert main(["lint", "--json", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["warnings"] == 2
+        assert payload["diagnostics"][0]["source"].endswith("warny.xq")
+
+    def test_lint_analyze_enables_range_checks(self, tmp_path, capsys):
+        path = tmp_path / "range.xq"
+        path.write_text(
+            "FOR $O IN document(root2)/order\n"
+            "WHERE $O/value/data() > 500000\n"
+            "RETURN <R> $O </R>"
+        )
+        assert main(["lint", str(path)]) == 0
+        assert "MIX-W003" not in capsys.readouterr().out
+        assert main(["lint", "--analyze", str(path)]) == 0
+        assert "MIX-W003" in capsys.readouterr().out
+
+    def test_lint_parse_error_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "broken.xq"
+        path.write_text("FOR RETURN")
+        assert main(["lint", str(path)]) == 1
+        assert "broken.xq" in capsys.readouterr().err
+
+    def test_lint_missing_file(self, capsys):
+        assert main(["lint", "/nonexistent/q.xq"]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_check_plan_default(self, capsys):
+        assert main(["check-plan"]) == 0
+        out = capsys.readouterr().out
+        assert "translate" in out and "sql-split" in out
+        assert "-- verified: 2 stages" in out
+        assert "FAILED" not in out
+
+    def test_check_plan_no_optimizer(self, capsys):
+        assert main(["check-plan", "--no-optimizer"]) == 0
+        assert "-- verified:" in capsys.readouterr().out
+
+    def test_check_plan_from_file(self, tmp_path, capsys):
+        path = tmp_path / "q.xq"
+        path.write_text(
+            "FOR $O IN document(root2)/order\n"
+            "WHERE $O/value/data() > 1000\n"
+            "RETURN <Big> $O </Big> {$O}"
+        )
+        assert main(["check-plan", str(path)]) == 0
+
+    def test_check_plan_missing_file(self, capsys):
+        assert main(["check-plan", "/nonexistent/q.xq"]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_check_plan_parse_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.xq"
+        path.write_text("FOR RETURN")
+        assert main(["check-plan", str(path)]) == 1
+
+    def test_usage_lists_new_commands(self, capsys):
+        main([])
+        out = capsys.readouterr().out
+        assert "lint" in out and "check-plan" in out

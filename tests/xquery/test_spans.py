@@ -1,0 +1,98 @@
+"""Source positions: AST spans and parse-error line/column."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.xquery import ast
+from repro.xquery.parser import parse_xquery
+
+QUERY = (
+    "FOR $C IN source(root1)/customer\n"
+    "    $O IN document(root2)/order\n"
+    "WHERE $C/id/data() = $O/cid/data()\n"
+    "RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}"
+)
+
+
+@pytest.fixture(scope="module")
+def query():
+    return parse_xquery(QUERY)
+
+
+class TestAstSpans:
+    def test_query_span_covers_the_whole_text(self, query):
+        assert (query.span.line, query.span.column) == (1, 1)
+        assert query.span.end_line == 4
+
+    def test_for_binding_spans(self, query):
+        first, second = query.for_bindings
+        assert (first.span.line, first.span.column) == (1, 5)
+        assert (second.span.line, second.span.column) == (2, 5)
+
+    def test_binding_operand_span_points_at_the_path(self, query):
+        operand = query.for_bindings[0].operand
+        assert (operand.span.line, operand.span.column) == (1, 11)
+
+    def test_condition_span(self, query):
+        (condition,) = query.conditions
+        assert (condition.span.line, condition.span.column) == (3, 7)
+        assert (condition.left.span.line,
+                condition.left.span.column) == (3, 7)
+        assert (condition.right.span.line,
+                condition.right.span.column) == (3, 22)
+
+    def test_return_element_span(self, query):
+        assert isinstance(query.ret, ast.ElemExpr)
+        assert (query.ret.span.line, query.ret.span.column) == (4, 8)
+
+    def test_nested_var_ref_span(self, query):
+        var_ref = query.ret.contents[0]
+        assert isinstance(var_ref, ast.VarRef)
+        assert (var_ref.span.line, var_ref.span.column) == (4, 18)
+
+    def test_literal_span(self):
+        parsed = parse_xquery(
+            "FOR $C IN source(root1)/customer\n"
+            "WHERE $C/id/data() = \"XYZ\"\n"
+            "RETURN <R> $C </R>"
+        )
+        literal = parsed.conditions[0].right
+        assert isinstance(literal, ast.Literal)
+        assert (literal.span.line, literal.span.column) == (2, 22)
+
+    def test_spans_never_affect_equality(self):
+        # Reformatting moves every span but changes no AST identity.
+        reformatted = parse_xquery(QUERY.replace("\n", "\n  "))
+        original = parse_xquery(QUERY)
+        assert (
+            original.for_bindings[0].operand
+            == reformatted.for_bindings[0].operand
+        )
+        assert (
+            original.for_bindings[0].operand.span
+            != reformatted.for_bindings[1 - 1].operand.span
+        )
+
+
+class TestParseErrorPositions:
+    def test_error_names_line_and_column(self):
+        with pytest.raises(ParseError) as err:
+            parse_xquery(
+                "FOR $C IN source(root1)/customer\n"
+                "RETURN oops"
+            )
+        assert "line 2" in str(err.value)
+        assert err.value.line == 2
+        assert err.value.column is not None
+
+    def test_error_on_first_line(self):
+        with pytest.raises(ParseError) as err:
+            parse_xquery("FOR customer RETURN <R> $C </R>")
+        assert err.value.line == 1
+
+    def test_position_properties_absent_without_context(self):
+        bare = ParseError("no context")
+        assert bare.line is None
+        assert bare.column is None
