@@ -1,0 +1,116 @@
+"""E-SERVE: session multiplexing under closed-loop concurrent load.
+
+The Fig. 1 deployment claim, measured: one long-lived mediator serves
+hundreds of thin concurrent clients, and *sharing* is what makes that
+viable —
+
+* **shared caches carry the load** — a zipf query mix over ~100
+  sessions mostly hits the shared plan cache / navigation memo, so
+  hits dominate misses by the end of the storm;
+* **admission stays honest** — with a tiny in-flight cap the server
+  rejects (``MIX-E-BUSY``) instead of queueing, and nothing errors or
+  leaks;
+* **latency tail is bounded** — p50 ≤ p95 ≤ p99 and every request
+  completes.
+
+``MIX_BENCH_SMOKE=1`` shrinks the fleet for CI smoke runs.  The
+printed series (and ``--bench-json``'s ``BENCH_SERVE.json``) record
+throughput plus p50/p95/p99 — the numbers in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import Instrument, Mediator
+from repro.server import MediatorService, ServerLimits, run_load
+from repro.workloads import build_customers_orders
+
+from benchmarks.conftest import bench_record, print_series
+
+SMOKE = bool(os.environ.get("MIX_BENCH_SMOKE"))
+CLIENTS = 24 if SMOKE else 120
+INTERACTIONS = 4 if SMOKE else 8
+N_CUSTOMERS = 20 if SMOKE else 60
+ORDERS_PER = 3
+
+
+def build_service(max_inflight=None, cache=True):
+    built = build_customers_orders(
+        n_customers=N_CUSTOMERS, orders_per_customer=ORDERS_PER,
+    )
+    mediator = Mediator(
+        stats=built.stats, cache=cache
+    ).add_source(built.wrapper)
+    limits = ServerLimits(
+        max_sessions=CLIENTS + 8,
+        max_inflight=max_inflight or CLIENTS + 8,
+    )
+    return built, MediatorService(
+        mediator, limits=limits, database=built.database
+    )
+
+
+def test_serve_concurrent_sessions_throughput_and_tail():
+    built, service = build_service()
+    report = run_load(
+        service, clients=CLIENTS, interactions=INTERACTIONS, seed=0,
+    )
+    counters = report.counters()
+    print_series(
+        "E-SERVE: {} closed-loop zipf sessions".format(CLIENTS),
+        ["clients", "requests", "errors", "rps", "p50ms", "p95ms",
+         "p99ms"],
+        [[counters["clients"], counters["requests"], counters["errors"],
+          counters["throughput_rps"], counters["p50_ms"],
+          counters["p95_ms"], counters["p99_ms"]]],
+    )
+    bench_record("SERVE", "serve_load", params=report.params,
+                 seconds=report.seconds, counters=counters)
+
+    assert report.errors == 0
+    assert report.rejected == 0          # the limits were sized to fit
+    assert report.requests >= CLIENTS * INTERACTIONS
+    assert counters["throughput_rps"] > 0
+    assert counters["p50_ms"] <= counters["p95_ms"] <= counters["p99_ms"]
+    # sessions all tore down; nothing is left in flight
+    assert service.sessions.session_count() == 0
+    assert service.sessions.inflight() == 0
+
+    # the Fig. 1 sharing claim: the zipf mix makes the shared caches
+    # the common path — by storm's end, hits dominate misses
+    cache = service.mediator.cache_stats()
+    assert cache["plan_cache"]["hits"] > cache["plan_cache"]["misses"]
+    assert cache["nav_memo"]["hits"] > cache["nav_memo"]["misses"]
+
+
+def test_serve_backpressure_rejects_instead_of_queueing():
+    import sys
+
+    built, service = build_service(max_inflight=1)
+    # Requests here are far shorter than the default 5 ms GIL slice, so
+    # without help threads would accidentally serialize and the cap
+    # would never trip; a fine switch interval makes the overlap real.
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(0.0002)
+    try:
+        report = run_load(
+            service, clients=max(8, CLIENTS // 4),
+            interactions=INTERACTIONS, seed=1,
+        )
+    finally:
+        sys.setswitchinterval(previous)
+    counters = report.counters()
+    print_series(
+        "E-SERVE: backpressure (max_inflight=1)",
+        ["clients", "requests", "rejected", "errors"],
+        [[counters["clients"], counters["requests"],
+          counters["rejected"], counters["errors"]]],
+    )
+    bench_record("SERVE", "serve_backpressure", params=report.params,
+                 seconds=report.seconds, counters=counters)
+    assert report.errors == 0            # rejections are typed, not errors
+    assert report.rejected > 0           # the cap actually pushed back
+    assert report.requests > 0           # …while work still flowed
+    assert service.sessions.inflight() == 0
+    assert built.stats.get("serve_rejected") >= report.rejected

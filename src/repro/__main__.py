@@ -24,7 +24,15 @@ Commands:
   ``--strict`` exits nonzero on warnings too;
 * ``check-plan`` — compile a query (default: the golden Fig. 22 Q1)
   through translate → Table-2 rewrites → SQL split and run the static
-  plan verifier after every stage, printing a per-stage verdict.
+  plan verifier after every stage, printing a per-stage verdict;
+* ``serve``    — run the concurrent mediator server (JSON-lines over
+  TCP, see :mod:`repro.server`) over the paper database;
+  ``--host``/``--port`` bind the endpoint (default 127.0.0.1:4617),
+  ``--max-sessions``/``--max-inflight`` set the admission limits;
+* ``bench-serve`` — drive a scaled workload server with N closed-loop
+  zipf clients and print throughput + p50/p95/p99 latency;
+  ``--bench-json[=DIR]`` additionally writes ``BENCH_SERVE.json``
+  (PR-4 bench-json format) to DIR (default: the current directory).
 
 ``demo`` and ``explain`` accept ``--fault-profile=NAME`` (with optional
 ``--fault-seed=N``), which interposes a seeded
@@ -488,6 +496,141 @@ def cmd_sql(args=()):
     return 0
 
 
+def _int_option(args, name, default):
+    """Extract ``--name=N`` as an int with a usage error on junk."""
+    value, args = _pop_option(args, name)
+    if value is None:
+        return default, args
+    try:
+        return int(value), args
+    except ValueError:
+        raise SystemExit("{} expects an integer, got {!r}".format(
+            name, value))
+
+
+def cmd_serve(args=()):
+    """Run the concurrent mediator server over the paper database.
+
+    Serves QDOM navigation, query-in-place, the SQL shell, and EXPLAIN
+    over the JSON-lines protocol until interrupted.  The multi-level
+    cache is on (all sessions share it); ``--no-cache`` switches it
+    off.
+    """
+    from repro.server import MediatorService, MixServer, ServerLimits
+
+    args = list(args)
+    cache, cache_size, args = _cache_options(args)
+    cost, args = _optimizer_options(args)
+    host, args = _pop_option(args, "--host")
+    port, args = _int_option(args, "--port", 4617)
+    max_sessions, args = _int_option(args, "--max-sessions", 512)
+    max_inflight, args = _int_option(args, "--max-inflight", 64)
+    from repro import Instrument, Mediator, RelationalWrapper
+
+    stats = Instrument()
+    db = _paper_database(stats)
+    wrapper = (
+        RelationalWrapper(db)
+        .register_document("root1", "customer")
+        .register_document("root2", "orders", element_label="order")
+    )
+    mediator = Mediator(stats=stats, cache=cache, cache_size=cache_size,
+                        cost_optimizer=cost).add_source(wrapper)
+    service = MediatorService(
+        mediator,
+        limits=ServerLimits(max_sessions=max_sessions,
+                            max_inflight=max_inflight),
+        database=db,
+    )
+    server = MixServer(service, (host or "127.0.0.1", port))
+    bound_host, bound_port = server.address
+    print("repro.server listening on {}:{} "
+          "(max_sessions={}, max_inflight={}); Ctrl-C stops".format(
+              bound_host, bound_port, max_sessions, max_inflight))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        print("\nserved {} requests ({} rejected), "
+              "{} sessions opened".format(
+                  stats.get("serve_requests"),
+                  stats.get("serve_rejected"),
+                  stats.get("serve_sessions_opened")))
+    return 0
+
+
+def cmd_bench_serve(args=()):
+    """E-SERVE: closed-loop load against an in-process server.
+
+    N concurrent client sessions (default 120 — the acceptance floor
+    is 100) issue zipf-distributed queries plus navigation walks over a
+    scaled customers/orders workload through the full wire path, and
+    the measured throughput and latency percentiles are printed (and,
+    with ``--bench-json``, recorded as ``BENCH_SERVE.json``).
+    """
+    from repro import Instrument, Mediator
+    from repro.server import (
+        MediatorService, ServerLimits, run_load, write_bench_json,
+    )
+    from repro.workloads import build_customers_orders
+
+    args = list(args)
+    cache, cache_size, args = _cache_options(args)
+    cost, args = _optimizer_options(args)
+    clients, args = _int_option(args, "--clients", 120)
+    interactions, args = _int_option(args, "--interactions", 8)
+    seed, args = _int_option(args, "--seed", 0)
+    customers, args = _int_option(args, "--customers", 40)
+    orders, args = _int_option(args, "--orders", 3)
+    think, args = _pop_option(args, "--think")
+    zipf, args = _pop_option(args, "--zipf")
+    bench_dir = None
+    if "--bench-json" in args:
+        bench_dir = "."
+        args = [a for a in args if a != "--bench-json"]
+    explicit_dir, args = _pop_option(args, "--bench-json")
+    if explicit_dir is not None:
+        bench_dir = explicit_dir
+    built = build_customers_orders(
+        n_customers=customers, orders_per_customer=orders,
+    )
+    mediator = Mediator(
+        stats=built.stats, cache=cache, cache_size=cache_size,
+        cost_optimizer=cost,
+    ).add_source(built.wrapper)
+    service = MediatorService(
+        mediator,
+        limits=ServerLimits(max_sessions=clients + 8,
+                            max_inflight=clients + 8),
+        database=built.database,
+    )
+    report = run_load(
+        service, clients=clients, interactions=interactions,
+        think_time=float(think or 0.0), zipf_s=float(zipf or 1.1),
+        seed=seed,
+    )
+    counters = report.counters()
+    print("== E-SERVE: {} concurrent sessions, {} interactions each "
+          "==".format(clients, interactions))
+    print("  requests={requests} errors={errors} rejected={rejected}"
+          .format(**counters))
+    print("  throughput={throughput_rps} req/s  p50={p50_ms}ms  "
+          "p95={p95_ms}ms  p99={p99_ms}ms".format(**counters))
+    print("  plan_cache={} nav_memo={}".format(
+        built.stats.get("plan_cache_hits"),
+        built.stats.get("nav_memo_hits")))
+    if report.errors:
+        print("bench-serve: {} requests failed".format(report.errors),
+              file=sys.stderr)
+        return 1
+    if bench_dir is not None:
+        path = write_bench_json(bench_dir, [("serve", report)])
+        print("  wrote {}".format(path))
+    return 0
+
+
 def main(argv=None):
     argv = argv if argv is not None else sys.argv[1:]
     commands = {
@@ -498,14 +641,18 @@ def main(argv=None):
         "sql": cmd_sql,
         "lint": cmd_lint,
         "check-plan": cmd_check_plan,
+        "serve": cmd_serve,
+        "bench-serve": cmd_bench_serve,
     }
     if not argv or argv[0] not in commands:
         print(__doc__)
         print("usage: python -m repro"
-              " {demo|figures|bench|explain|sql|lint|check-plan}"
+              " {demo|figures|bench|explain|sql|lint|check-plan"
+              "|serve|bench-serve}"
               " [--fault-profile=" + "|".join(FAULT_PROFILES) +
               "] [--fault-seed=N] [--no-cache] [--cache-size=N]"
-              " [--no-optimizer] [--analyze] [--json] [--strict]")
+              " [--no-optimizer] [--analyze] [--json] [--strict]"
+              " [--host=H] [--port=N] [--clients=N] [--bench-json[=DIR]]")
         return 2
     return commands[argv[0]](argv[1:])
 

@@ -20,10 +20,17 @@ traces, and the benchmarks.
 
 ``maxsize=0`` disables the cache: every lookup misses without counting,
 every store is dropped.  ``maxsize=None`` means unbounded.
+
+The cache is **thread-safe**: every operation (and every counter update
+it implies) runs under one internal lock, because the server layer
+(:mod:`repro.server`) multiplexes hundreds of concurrent sessions over
+shared plan/result/memo caches.  ``validate`` callbacks run inside the
+lock, so they must not re-enter the cache.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 _MISSING = object()
@@ -48,6 +55,10 @@ class LRUCache:
             )
         self.maxsize = maxsize
         self._data = OrderedDict()
+        # Re-entrant: obs mirroring may run arbitrary listener code, and
+        # nested cache use from a validate callback should fail loudly in
+        # tests rather than deadlock a server thread.
+        self._lock = threading.RLock()
         self._obs = obs
         self._prefix = prefix
         self.hits = 0
@@ -75,70 +86,79 @@ class LRUCache:
         """
         if not self.enabled:
             return False, None
-        value = self._data.get(key, _MISSING)
-        if value is not _MISSING and validate is not None:
-            if not validate(value):
-                del self._data[key]
-                self._count("invalidations")
-                value = _MISSING
-        if value is _MISSING:
-            self._count("misses")
-            return False, None
-        self._data.move_to_end(key)
-        self._count("hits")
-        return True, value
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is not _MISSING and validate is not None:
+                if not validate(value):
+                    del self._data[key]
+                    self._count("invalidations")
+                    value = _MISSING
+            if value is _MISSING:
+                self._count("misses")
+                return False, None
+            self._data.move_to_end(key)
+            self._count("hits")
+            return True, value
 
     def store(self, key, value):
         """Insert (or refresh) ``key``; evicts the LRU entry when full."""
         if not self.enabled:
             return
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        while self.maxsize is not None and len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
-            self._count("evictions")
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while (self.maxsize is not None
+                   and len(self._data) > self.maxsize):
+                self._data.popitem(last=False)
+                self._count("evictions")
 
     def invalidate(self, key):
         """Drop ``key`` if present (counted); returns whether it was."""
-        if key in self._data:
-            del self._data[key]
-            self._count("invalidations")
-            return True
-        return False
+        with self._lock:
+            if key in self._data:
+                del self._data[key]
+                self._count("invalidations")
+                return True
+            return False
 
     def clear(self):
         """Drop every entry; each counts as one invalidation."""
-        dropped = len(self._data)
-        if dropped:
-            self._count("invalidations", dropped)
-        self._data.clear()
-        return dropped
+        with self._lock:
+            dropped = len(self._data)
+            if dropped:
+                self._count("invalidations", dropped)
+            self._data.clear()
+            return dropped
 
     # -- inspection -----------------------------------------------------------------
 
     def keys(self):
         """Current keys, LRU first (no counter effect)."""
-        return list(self._data)
+        with self._lock:
+            return list(self._data)
 
     def values(self):
         """Current values, LRU first (no counter effect)."""
-        return list(self._data.values())
+        with self._lock:
+            return list(self._data.values())
 
     def peek(self, key):
         """The value for ``key`` without counters or LRU movement."""
-        return self._data.get(key)
+        with self._lock:
+            return self._data.get(key)
 
     def stats(self):
-        """The counter snapshot plus occupancy."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-            "size": len(self._data),
-            "maxsize": self.maxsize,
-        }
+        """The counter snapshot plus occupancy (one consistent view)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+            }
 
     def __len__(self):
         return len(self._data)

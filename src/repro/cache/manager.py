@@ -27,6 +27,12 @@ The memo is the correctness-critical one, so it is fenced three ways:
   timeout, or degradation since the entry was stored (the failure
   epoch), and as a final belt a hit re-scans the already-materialized
   prefix for stubs before serving.
+
+Both levels are safe under concurrent server sessions: the LRU maps
+lock internally (validation runs inside the lock), shared memoized
+trees serialize lazy-tail forcing through the
+:mod:`repro.xmltree.tree` forcing lock, and the version fingerprints
+they validate against are snapshotted under the database write lock.
 """
 
 from __future__ import annotations

@@ -30,6 +30,8 @@ Correctness rules:
 
 from __future__ import annotations
 
+import threading
+
 from repro import stats as statnames
 from repro.relational import ast
 from repro.relational.cursor import Cursor
@@ -65,19 +67,25 @@ class SqlResultCache:
     def __init__(self, maxsize=128, obs=None, prefix="sql_cache"):
         self._lru = LRUCache(maxsize, obs=obs, prefix=prefix)
         self._tables_for = {}  # normalized sql -> tuple of table names
+        # Guards the side map only; the LRU has its own lock.  parse_sql
+        # is pure, so the worst a race could cost is a duplicate parse —
+        # but a concurrent clear()+set would let the map grow unbounded.
+        self._tables_lock = threading.Lock()
 
     # -- key helpers ----------------------------------------------------------------
 
     def _referenced_tables(self, key, sql):
-        tables = self._tables_for.get(key)
+        with self._tables_lock:
+            tables = self._tables_for.get(key)
         if tables is None:
             stmt = parse_sql(sql)
             if not isinstance(stmt, ast.SelectStmt):
                 return None  # only SELECTs are cacheable
             tables = tuple(sorted({ref.table for ref in stmt.tables}))
-            if len(self._tables_for) > 4 * (self._lru.maxsize or 128):
-                self._tables_for.clear()  # bounded side map
-            self._tables_for[key] = tables
+            with self._tables_lock:
+                if len(self._tables_for) > 4 * (self._lru.maxsize or 128):
+                    self._tables_for.clear()  # bounded side map
+                self._tables_for[key] = tables
         return tables
 
     @staticmethod

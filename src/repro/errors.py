@@ -184,3 +184,82 @@ class CircuitOpenError(SourceError):
     def __init__(self, message, doc_id=None, source=None, retry_after=None):
         super().__init__(message, doc_id=doc_id, source=source)
         self.retry_after = retry_after
+
+
+class ServerError(MixError):
+    """Base class of the mediator server's typed errors.
+
+    Every subclass carries a stable wire code (``MIX-E-*``), which is
+    what crosses the JSON-lines protocol instead of a Python stack
+    trace; clients dispatch on the code, never on the message text.
+    """
+
+    #: The stable wire code; subclasses override.
+    code = "MIX-E-SERVER"
+
+
+class ProtocolError(ServerError):
+    """A frame could not be decoded: not JSON, not an object, or
+    missing/invalid required fields (``id``, ``op``)."""
+
+    code = "MIX-E-PROTO"
+
+
+class FrameTooLargeError(ProtocolError):
+    """An incoming frame exceeded the server's frame-size limit."""
+
+    code = "MIX-E-FRAME"
+
+
+class UnknownOpError(ProtocolError):
+    """The request named an operation the server does not export.
+
+    Attributes:
+        known: the sorted op names the server does export.
+    """
+
+    code = "MIX-E-OP"
+
+    def __init__(self, message, known=()):
+        known = list(known)
+        if known:
+            message = "{} (known ops: {})".format(
+                message, ", ".join(known)
+            )
+        super().__init__(message)
+        self.known = known
+
+
+class SessionError(ServerError):
+    """A request addressed a session id that is not open (never opened,
+    already closed, or swept after its connection died)."""
+
+    code = "MIX-E-SESSION"
+
+
+class StaleHandleError(ServerError):
+    """A request addressed a node handle its session does not hold."""
+
+    code = "MIX-E-HANDLE"
+
+
+class SessionLimitError(ServerError):
+    """Opening one more session would exceed ``max_sessions`` (or the
+    session would exceed one of its own resource caps)."""
+
+    code = "MIX-E-LIMIT"
+
+
+class BackpressureError(ServerError):
+    """The server is at its in-flight request limit; the request was
+    rejected immediately instead of queueing unboundedly.  Clients
+    should back off and retry."""
+
+    code = "MIX-E-BUSY"
+
+
+class ResultTooLargeError(ServerError):
+    """A reply would exceed the per-request result-size cap; re-ask
+    with a narrower query or a bounded bulk op (``walk`` budget)."""
+
+    code = "MIX-E-SIZE"

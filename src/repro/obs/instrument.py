@@ -20,11 +20,19 @@ navigation command caused which source work".
 
 The registry surface is a strict superset of the seed ``StatsRegistry``,
 so ``repro.stats.StatsRegistry`` is now simply an alias of this class.
+
+**Thread model.**  One instrument may be shared by many server threads
+(:mod:`repro.server` multiplexes hundreds of sessions over one
+mediator), so counters, timers, and node metrics are updated under a
+lock — concurrent increments never lose counts.  The span *stack* is
+thread-local: each thread nests its own command/operator spans, and
+completed root traces from every thread land on the shared trace ring.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from collections import deque
 from contextlib import contextmanager
@@ -43,9 +51,18 @@ class Instrument:
         self._timers = {}
         self._node_counts = {}
         self._node_times = {}
-        self._stack = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
         self._traces = deque(maxlen=trace_capacity)
         self._span_ids = itertools.count(1)
+
+    @property
+    def _stack(self):
+        """This thread's span stack (each thread nests independently)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- counters and timers (the StatsRegistry interface) ----------------------------
 
@@ -55,20 +72,27 @@ class Instrument:
         The increment is also attributed to the currently active span,
         if any.
         """
-        self._counters[name] = self._counters.get(name, 0) + amount
-        if self._stack:
-            self._stack[-1].bump(name, amount)
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+        stack = self._stack
+        if stack:
+            stack[-1].bump(name, amount)
 
     def get(self, name):
         """Current value of counter ``name`` (0 if never incremented)."""
         return self._counters.get(name, 0)
 
     def reset(self):
-        """Zero every counter, timer, node metric, and recorded trace."""
-        self._counters.clear()
-        self._timers.clear()
-        self._node_counts.clear()
-        self._node_times.clear()
+        """Zero every counter, timer, node metric, and recorded trace.
+
+        Only the calling thread's span stack is cleared; other threads'
+        in-flight spans keep nesting correctly.
+        """
+        with self._lock:
+            self._counters.clear()
+            self._timers.clear()
+            self._node_counts.clear()
+            self._node_times.clear()
         del self._stack[:]
         self._traces.clear()
 
@@ -80,7 +104,8 @@ class Instrument:
             yield
         finally:
             elapsed = time.perf_counter() - start
-            self._timers[name] = self._timers.get(name, 0.0) + elapsed
+            with self._lock:
+                self._timers[name] = self._timers.get(name, 0.0) + elapsed
 
     def elapsed(self, name):
         """Total seconds accumulated by :meth:`timer` under ``name``."""
@@ -88,9 +113,10 @@ class Instrument:
 
     def snapshot(self):
         """An immutable copy of all counters (timers under ``time:<name>``)."""
-        merged = dict(self._counters)
-        for name, secs in self._timers.items():
-            merged["time:" + name] = secs
+        with self._lock:
+            merged = dict(self._counters)
+            for name, secs in self._timers.items():
+                merged["time:" + name] = secs
         return merged
 
     def diff(self, before):
@@ -103,7 +129,10 @@ class Instrument:
 
     def record_node(self, token, amount=1):
         """Count ``amount`` tuples produced by the plan node ``token``."""
-        self._node_counts[token] = self._node_counts.get(token, 0) + amount
+        with self._lock:
+            self._node_counts[token] = (
+                self._node_counts.get(token, 0) + amount
+            )
 
     def node_count(self, token):
         """Tuples the node produced so far (0 when it never ran)."""
@@ -115,7 +144,8 @@ class Instrument:
 
     def node_counts(self):
         """A copy of the full ``token -> tuples`` mapping."""
-        return dict(self._node_counts)
+        with self._lock:
+            return dict(self._node_counts)
 
     def merge_node_counts(self, counts):
         """Fold an external ``token -> tuples`` mapping in (adapter use)."""
@@ -180,9 +210,10 @@ class Instrument:
         finally:
             elapsed = time.perf_counter() - start
             if key is not None:
-                self._node_times[key] = (
-                    self._node_times.get(key, 0.0) + elapsed
-                )
+                with self._lock:
+                    self._node_times[key] = (
+                        self._node_times.get(key, 0.0) + elapsed
+                    )
             if span is not None:
                 span.elapsed += elapsed
                 self._stack.pop()

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import itertools
+import threading
 
 from repro import stats as statnames
 from repro.errors import SchemaError, SqlError
@@ -41,6 +42,13 @@ class Database:
         # monotone clock, so no cached fingerprint can ever match it.
         self._epoch_clock = itertools.count(1)
         self._epochs = {}
+        # Writers are serialized: concurrent DML/DDL from server threads
+        # would otherwise lose ``Table.version`` bumps (a read-modify-
+        # write), and a lost bump makes the result caches serve stale
+        # rows.  Readers never take this lock — delete/update swap in a
+        # fresh row list atomically, so an open cursor keeps iterating a
+        # consistent snapshot.
+        self._write_lock = threading.RLock()
 
     # -- schema ---------------------------------------------------------------
 
@@ -85,11 +93,15 @@ class Database:
         moves when the table is dropped and recreated.  Reads never move
         either, so a cache keyed on these tokens is invalidated by
         writes and only by writes — never by time.
+
+        Taken under the write lock so a fingerprint never interleaves
+        with a half-applied statement (no torn version snapshots).
         """
-        return {
-            name: (self._epochs[name], table.version)
-            for name, table in self._tables.items()
-        }
+        with self._write_lock:
+            return {
+                name: (self._epochs[name], table.version)
+                for name, table in self._tables.items()
+            }
 
     # -- optimizer statistics ----------------------------------------------------
 
@@ -105,11 +117,12 @@ class Database:
         from repro.optimizer.statistics import collect_table_statistics
 
         names = [table_name] if table_name else self.table_names()
-        for name in names:
-            table = self.table(name)
-            table.statistics = collect_table_statistics(
-                table, epoch=self._epochs[name]
-            )
+        with self._write_lock:
+            for name in names:
+                table = self.table(name)
+                table.statistics = collect_table_statistics(
+                    table, epoch=self._epochs[name]
+                )
         if names:
             self.stats.incr(statnames.TABLES_ANALYZED, len(names))
         return len(names)
@@ -144,10 +157,19 @@ class Database:
         return Cursor(names, rows, stats=self.stats)
 
     def run(self, sql):
-        """Execute DDL/DML; returns the affected row count."""
+        """Execute DDL/DML; returns the affected row count.
+
+        Statements are applied under the database write lock, so
+        concurrent writers from different threads serialize and every
+        version bump is counted.
+        """
         stmt = parse_sql(sql)
         if isinstance(stmt, ast.SelectStmt):
             raise SqlError("run() is for DDL/DML; use execute() for SELECT")
+        with self._write_lock:
+            return self._apply(stmt)
+
+    def _apply(self, stmt):
         if isinstance(stmt, ast.CreateTableStmt):
             self.create_table(stmt.name, stmt.columns, stmt.primary_key)
             return 0

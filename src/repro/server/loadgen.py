@@ -1,0 +1,226 @@
+"""A closed-loop load driver for the mediator server (E-SERVE).
+
+``N`` client threads each open a session and issue a fixed number of
+requests, waiting for each reply before sending the next (closed loop:
+offered load adapts to service rate, the way real interactive BBQ
+clients behave).  Each request is one *interaction*: a query pick —
+zipf-distributed over the query list, so a few hot views dominate
+exactly like production document access — followed by a short
+navigation walk into the answer, with optional think time between
+interactions.
+
+The driver measures per-request wire latency (every round trip through
+the protocol, including admission) and reports throughput plus
+p50/p95/p99, the numbers ``BENCH_SERVE.json`` records via the PR-4
+bench-json plumbing.  Backpressure rejections (``MIX-E-BUSY``) are
+counted separately and excluded from latency percentiles — a rejected
+request did no mediator work.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+
+from repro.server.loopback import LoopbackClient
+from repro.server.protocol import ServerReplyError
+
+#: The default query mix, hottest first (zipf rank 1).  Phrased against
+#: the customers/orders workload documents (root1/root2).
+DEFAULT_QUERIES = (
+    "FOR $C IN document(root1)/customer RETURN $C",
+    "FOR $O IN document(root2)/order RETURN $O",
+    """
+    FOR $C IN document(root1)/customer
+        $O IN document(root2)/order
+    WHERE $C/id/data() = $O/cid/data()
+    RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> </CustRec>
+    """,
+    """
+    FOR $O IN document(root2)/order
+    WHERE $O/value/data() > 300
+    RETURN <Big> $O </Big>
+    """,
+)
+
+
+def zipf_weights(n, s):
+    """Unnormalized zipf weights ``1/rank^s`` for ranks ``1..n``."""
+    return [1.0 / ((rank + 1) ** s) for rank in range(n)]
+
+
+def percentile(sorted_values, q):
+    """The ``q``-quantile (0..1) of an ascending list (nearest-rank)."""
+    if not sorted_values:
+        return 0.0
+    index = max(0, min(len(sorted_values) - 1,
+                       int(q * len(sorted_values) + 0.5) - 1))
+    return sorted_values[index]
+
+
+class LoadReport:
+    """The measured outcome of one :func:`run_load` run."""
+
+    def __init__(self, clients, requests, errors, rejected, latencies,
+                 seconds, params):
+        self.clients = clients
+        self.requests = requests
+        self.errors = errors
+        self.rejected = rejected
+        self.latencies = sorted(latencies)
+        self.seconds = seconds
+        self.params = dict(params)
+
+    @property
+    def throughput(self):
+        """Completed requests per wall-clock second."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.requests / self.seconds
+
+    def latency_ms(self, q):
+        return percentile(self.latencies, q) * 1000.0
+
+    def counters(self):
+        return {
+            "clients": self.clients,
+            "requests": self.requests,
+            "errors": self.errors,
+            "rejected": self.rejected,
+            "throughput_rps": round(self.throughput, 1),
+            "p50_ms": round(self.latency_ms(0.50), 3),
+            "p95_ms": round(self.latency_ms(0.95), 3),
+            "p99_ms": round(self.latency_ms(0.99), 3),
+        }
+
+    def as_record(self, name="serve"):
+        """One bench record in the PR-4 ``BENCH_<series>.json`` shape."""
+        return {
+            "name": name,
+            "params": dict(self.params),
+            "seconds": self.seconds,
+            "counters": self.counters(),
+        }
+
+    def __repr__(self):
+        return "LoadReport({})".format(self.counters())
+
+
+def run_load(service, clients=100, interactions=10, think_time=0.0,
+             zipf_s=1.1, seed=0, queries=DEFAULT_QUERIES,
+             client_factory=None):
+    """Drive ``service`` with ``clients`` concurrent closed-loop sessions.
+
+    Args:
+        service: the :class:`~repro.server.service.MediatorService`.
+        clients: concurrent sessions (threads).
+        interactions: query-plus-walk interactions per client.
+        think_time: seconds each client idles between interactions.
+        zipf_s: zipf exponent of the query popularity distribution.
+        seed: base RNG seed (client ``i`` uses ``seed * 1000 + i``).
+        queries: the ranked query list (hottest first).
+        client_factory: optional zero-arg callable returning a connected
+            client (defaults to a :class:`LoopbackClient` per thread;
+            pass a :class:`~repro.server.tcp.TcpClient` factory to
+            drive a live socket instead).
+
+    Returns a :class:`LoadReport`.
+    """
+    weights = zipf_weights(len(queries), zipf_s)
+    latencies = []
+    totals = {"requests": 0, "errors": 0, "rejected": 0}
+    lock = threading.Lock()
+    start_barrier = threading.Barrier(clients)
+
+    def timed(client, local, op, **params):
+        began = time.perf_counter()
+        try:
+            result = client.call(op, **params)
+            local["latencies"].append(time.perf_counter() - began)
+            local["requests"] += 1
+            return result
+        except ServerReplyError as exc:
+            if exc.code == "MIX-E-BUSY":
+                local["rejected"] += 1
+            else:
+                local["errors"] += 1
+            return None
+
+    def one_client(index):
+        rng = random.Random(seed * 1000 + index)
+        local = {"latencies": [], "requests": 0, "errors": 0,
+                 "rejected": 0}
+        client = (client_factory or (lambda: LoopbackClient(service)))()
+        try:
+            start_barrier.wait()
+            opened = timed(client, local, "open")
+            if opened is None:
+                return
+            session = opened["session"]
+            for _ in range(interactions):
+                query = rng.choices(queries, weights=weights)[0]
+                root = timed(client, local, "query",
+                             session=session, query=query)
+                if root is not None:
+                    # A short navigation walk: down, then along a few
+                    # siblings — the interactive BBQ access pattern.
+                    node = timed(client, local, "d",
+                                 session=session, node=root["node"])
+                    hops = rng.randint(0, 3)
+                    while node is not None and node.get("node") and hops:
+                        node = timed(client, local, "r",
+                                     session=session, node=node["node"])
+                        hops -= 1
+                if think_time:
+                    time.sleep(think_time * rng.uniform(0.5, 1.5))
+            timed(client, local, "close", session=session)
+        finally:
+            client.close()
+            with lock:
+                latencies.extend(local["latencies"])
+                totals["requests"] += local["requests"]
+                totals["errors"] += local["errors"]
+                totals["rejected"] += local["rejected"]
+
+    threads = [
+        threading.Thread(target=one_client, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    began = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - began
+    return LoadReport(
+        clients=clients,
+        requests=totals["requests"],
+        errors=totals["errors"],
+        rejected=totals["rejected"],
+        latencies=latencies,
+        seconds=seconds,
+        params={
+            "clients": clients,
+            "interactions": interactions,
+            "think_time": think_time,
+            "zipf_s": zipf_s,
+            "seed": seed,
+        },
+    )
+
+
+def write_bench_json(directory, reports, series="SERVE"):
+    """Write ``BENCH_<series>.json`` in the PR-4 bench-json format;
+    returns the file path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, "BENCH_{}.json".format(series))
+    records = [report.as_record(name)
+               for name, report in reports]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"series": series, "records": records},
+                  handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -50,6 +50,17 @@ TUPLES_FROM_CACHE = "tuples_from_cache"  # rows replayed by the SQL result cache
 JOIN_TUPLES = "join_tuples"            # tuples flowing through executor joins
 TABLES_ANALYZED = "tables_analyzed"    # tables profiled by ANALYZE
 
+# Server admission counters (see repro.server).  Requests are counted
+# at the service boundary; rejected = typed-error replies for limits,
+# backpressure, protocol violations, and unknown sessions/handles.
+SERVE_REQUESTS = "serve_requests"          # frames dispatched to the service
+SERVE_ACCEPTED = "serve_accepted"          # requests admitted past limits
+SERVE_REJECTED = "serve_rejected"          # typed rejections (MIX-E-*)
+SERVE_ERRORS = "serve_errors"              # accepted requests that failed
+SERVE_SESSIONS_OPENED = "serve_sessions_opened"
+SERVE_SESSIONS_CLOSED = "serve_sessions_closed"
+SERVE_ACTIVE_SESSIONS = "serve_active_sessions"  # opened - closed (gauge)
+
 # Cache counters (see repro.cache).  Each cache mirrors its LRU counts
 # onto the instrument under "<prefix>_<event>"; the prefixes are:
 PLAN_CACHE = "plan_cache"              # compiled-plan cache (Mediator)

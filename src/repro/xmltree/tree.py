@@ -16,8 +16,19 @@
 from __future__ import annotations
 
 import itertools
+import threading
 
 from repro.errors import MixError
+
+#: One process-wide re-entrant lock serializes lazy-tail forcing.  The
+#: navigation memo shares materialized answer prefixes across concurrent
+#: server sessions, and two threads resuming one generator would race
+#: (``ValueError: generator already executing``) or tear the child list.
+#: Forcing one node's tail may pull the engine pipeline, which forces
+#: *source* nodes' tails in turn — hence re-entrant, and global rather
+#: than per-node (per-node locks could deadlock on that nesting).
+#: Already-materialized prefixes are read without the lock.
+_FORCE_LOCK = threading.RLock()
 
 #: Types a leaf label (value) may have.  ``D`` in the paper is
 #: "string-like"; we additionally admit numbers so that relational values
@@ -68,19 +79,26 @@ class Node:
         after an exception), so the failure is remembered and re-raised
         on any later forcing — silently truncating the child list would
         present a partial answer as a complete one.
+
+        Thread-safe: the materialized prefix is append-only (reads of
+        already-forced children skip the lock), and tail resumption is
+        serialized under the process-wide forcing lock.
         """
-        while (self._tail is not None or self._broken is not None) and (
-            count is None or len(self._children) < count
-        ):
-            if self._broken is not None:
-                raise self._broken
-            try:
-                self._children.append(next(self._tail))
-            except StopIteration:
-                self._tail = None
-            except Exception as exc:
-                self._broken = exc
-                raise
+        if self._tail is None and self._broken is None:
+            return
+        with _FORCE_LOCK:
+            while (self._tail is not None or self._broken is not None) and (
+                count is None or len(self._children) < count
+            ):
+                if self._broken is not None:
+                    raise self._broken
+                try:
+                    self._children.append(next(self._tail))
+                except StopIteration:
+                    self._tail = None
+                except Exception as exc:
+                    self._broken = exc
+                    raise
 
     def copy_subtree(self):
         """A fully materialized deep copy of this subtree (forces it).

@@ -1,0 +1,182 @@
+"""The server differential property (ISSUE 6 acceptance criterion).
+
+Two identical worlds: one mediator **served** through the wire protocol
+(loopback client — real bytes, real framing, real session tables) and
+one driven **in-process** through the QDOM API.  For random op
+sequences the two must be observationally identical:
+
+* byte-identical serialized answers (``tree``);
+* identical lazy navigation transcripts, full and budgeted (``walk``);
+* identical ``EXPLAIN`` plans (times masked);
+* identical ``tuples_shipped`` — the wire layer must not change *what*
+  the mediator executes, only how the answer is addressed.
+
+``MIX_SERVE_SEED`` (the CI serve matrix variable) rotates the query
+mix, so the three CI seeds exercise different interleavings.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Database, Instrument, Mediator, RelationalWrapper
+from repro.resilience import ERROR_LABEL
+from repro.server import LoopbackClient, MediatorService
+from repro.xmltree import serialize
+
+SERVE_SEED = int(os.environ.get("MIX_SERVE_SEED", "0"))
+
+QUERIES = [
+    "FOR $C IN document(root1)/customer RETURN $C",
+    "FOR $O IN document(root2)/order RETURN $O",
+    """
+    FOR $C IN document(root1)/customer
+        $O IN document(root2)/order
+    WHERE $C/id/data() = $O/cid/data()
+    RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> </CustRec>
+    """,
+    """
+    FOR $O IN document(root2)/order
+    WHERE $O/value/data() > 1000
+    RETURN <Big> $O </Big>
+    """,
+]
+
+IN_PLACE = """
+FOR $X IN document(root)/OrderInfo
+WHERE $X/order/value/data() > 500
+RETURN $X
+"""
+
+
+def build_world():
+    """One (database, mediator) pair; call twice for identical twins."""
+    stats = Instrument()
+    db = Database("diff", stats=stats)
+    db.run("CREATE TABLE customer (id TEXT, name TEXT, addr TEXT,"
+           " PRIMARY KEY (id))")
+    db.run("CREATE TABLE orders (orid INT, cid TEXT, value INT,"
+           " PRIMARY KEY (orid))")
+    db.run("INSERT INTO customer VALUES"
+           " ('XYZ', 'XYZInc.', 'LosAngeles'),"
+           " ('DEF', 'DEFCorp.', 'NewYork'),"
+           " ('ABC', 'ABCInc.', 'SanDiego')")
+    db.run("INSERT INTO orders VALUES"
+           " (28904, 'XYZ', 2400), (87456, 'ABC', 200000),"
+           " (111, 'XYZ', 100), (222, 'DEF', 30000)")
+    wrapper = (
+        RelationalWrapper(db)
+        .register_document("root1", "customer")
+        .register_document("root2", "orders", element_label="order")
+    )
+    mediator = Mediator(stats=stats, cache=True).add_source(wrapper)
+    return stats, db, mediator
+
+
+def direct_walk(node, budget=None):
+    """The in-process twin of the server's ``walk`` op."""
+    steps = []
+    remaining = [float("inf") if budget is None else budget]
+
+    def rec(current, depth):
+        child = current.d()
+        while child is not None and remaining[0] > 0:
+            remaining[0] -= 1
+            steps.append([depth, child.fl()])
+            rec(child, depth + 1)
+            if remaining[0] <= 0:
+                return
+            child = child.r()
+
+    rec(node, 0)
+    return steps
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["tree", "walk", "explain", "q"]),
+        st.integers(0, len(QUERIES) - 1),
+        st.sampled_from([None, 1, 2, 5, 9]),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(operations)
+@settings(max_examples=25, deadline=None)
+def test_served_and_direct_mediators_are_observationally_identical(ops):
+    served_stats, _, served_mediator = build_world()
+    direct_stats, _, direct_mediator = build_world()
+    service = MediatorService(served_mediator)
+
+    with LoopbackClient(service) as client:
+        session = client.call("open")["session"]
+        for step, (kind, index, budget) in enumerate(ops):
+            query = QUERIES[(index + SERVE_SEED) % len(QUERIES)]
+            label = "step {} ({} on query {})".format(step, kind, index)
+            if kind == "explain":
+                assert client.call("explain", query=query)["text"] == \
+                    direct_mediator.explain(query, mask_times=True), label
+                continue
+            root = client.call("query", session=session, query=query)
+            direct_root = direct_mediator.query(query)
+            if kind == "tree":
+                xml = client.call("tree", session=session,
+                                  node=root["node"])["xml"]
+                assert xml == serialize(direct_root.to_tree()), label
+                assert ERROR_LABEL not in xml, label
+            elif kind == "walk":
+                walked = client.call("walk", session=session,
+                                     node=root["node"], budget=budget)
+                assert walked["steps"] == direct_walk(
+                    direct_root, budget
+                ), label
+            else:  # q: query-in-place from the first child, when joined
+                first = client.call("d", session=session,
+                                    node=root["node"])
+                direct_first = direct_root.d()
+                assert (first["node"] is None) == (direct_first is None)
+                if direct_first is None or direct_first.fl() != "CustRec":
+                    continue
+                sub = client.call("q", session=session,
+                                  node=first["node"], query=IN_PLACE)
+                direct_sub = direct_first.q(IN_PLACE)
+                assert client.call(
+                    "tree", session=session, node=sub["node"]
+                )["xml"] == serialize(direct_sub.to_tree()), label
+
+    # The wire added addressing, not work: identical rows were shipped.
+    assert served_stats.get("tuples_shipped") == \
+        direct_stats.get("tuples_shipped")
+    served_cache = served_mediator.cache_stats()
+    direct_cache = direct_mediator.cache_stats()
+    assert served_cache["plan_cache"]["hits"] == \
+        direct_cache["plan_cache"]["hits"]
+    assert served_cache["plan_cache"]["misses"] == \
+        direct_cache["plan_cache"]["misses"]
+
+
+@given(st.lists(st.integers(0, len(QUERIES) - 1), min_size=1, max_size=6))
+@settings(max_examples=15, deadline=None)
+def test_two_served_sessions_see_the_same_answers(indexes):
+    """Two sessions multiplexed over one served mediator agree with
+    each other answer-for-answer (shared caches leak nothing and
+    corrupt nothing across sessions)."""
+    _, _, mediator = build_world()
+    service = MediatorService(mediator)
+    with LoopbackClient(service) as client:
+        a = client.call("open")["session"]
+        b = client.call("open")["session"]
+        for index in indexes:
+            query = QUERIES[(index + SERVE_SEED) % len(QUERIES)]
+            xml = {}
+            for name, session in (("a", a), ("b", b)):
+                root = client.call("query", session=session, query=query)
+                xml[name] = client.call(
+                    "tree", session=session, node=root["node"]
+                )["xml"]
+            assert xml["a"] == xml["b"]
+            assert ERROR_LABEL not in xml["a"]

@@ -1,0 +1,2 @@
+"""The server test battery: protocol, sessions, service, TCP, fuzz,
+and concurrency stress (ISSUE 6)."""

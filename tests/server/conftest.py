@@ -1,0 +1,46 @@
+"""Fixtures: a served paper mediator plus a loopback client."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Instrument, Mediator
+from repro.server import LoopbackClient, MediatorService, ServerLimits
+
+from tests.conftest import make_paper_db, make_paper_wrapper
+
+
+def make_service(limits=None, database=True, cache=True, stats=None):
+    """A :class:`MediatorService` over the paper database.
+
+    The mediator and (when ``database``) the SQL shell share one
+    backend, so DML through the ``sql`` op invalidates what queries
+    cached — the full server wiring in one call.
+    """
+    stats = stats or Instrument()
+    db = make_paper_db(stats=stats)
+    from repro import RelationalWrapper
+
+    wrapper = (
+        RelationalWrapper(db)
+        .register_document("root1", "customer")
+        .register_document("root2", "orders", element_label="order")
+    )
+    mediator = Mediator(stats=stats, cache=cache).add_source(wrapper)
+    return MediatorService(
+        mediator, limits=limits, database=db if database else None
+    )
+
+
+@pytest.fixture
+def service():
+    return make_service()
+
+
+@pytest.fixture
+def client(service):
+    with LoopbackClient(service) as loopback:
+        yield loopback
+
+
+__all__ = ["make_service", "make_paper_db", "make_paper_wrapper"]

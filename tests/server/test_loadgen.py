@@ -1,0 +1,105 @@
+"""Load driver tests: measurement plumbing, zipf mix, bench-json."""
+
+from __future__ import annotations
+
+import json
+
+from repro.server import MixServer, TcpClient, run_load, write_bench_json
+from repro.server.loadgen import percentile, zipf_weights
+
+from tests.server.conftest import make_service
+
+
+class TestMath:
+    def test_zipf_weights_decay_monotonically(self):
+        weights = zipf_weights(5, 1.1)
+        assert weights == sorted(weights, reverse=True)
+        assert weights[0] == 1.0
+
+    def test_zipf_exponent_zero_is_uniform(self):
+        assert zipf_weights(4, 0.0) == [1.0] * 4
+
+    def test_percentile_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.50) == 2.0
+        assert percentile(values, 0.95) == 4.0
+        assert percentile(values, 0.0) == 1.0
+        assert percentile([], 0.5) == 0.0
+        assert percentile([7.0], 0.99) == 7.0
+
+
+class TestRunLoad:
+    def test_closed_loop_report(self):
+        service = make_service()
+        report = run_load(service, clients=6, interactions=2, seed=3)
+        assert report.errors == 0
+        assert report.rejected == 0
+        # every client: open + per-interaction (query + d + 0-3 r) + close
+        assert report.requests >= 6 * (1 + 2 * 2 + 1)
+        assert report.seconds > 0
+        assert report.throughput > 0
+        counters = report.counters()
+        assert counters["p50_ms"] <= counters["p95_ms"] <= counters["p99_ms"]
+        assert service.sessions.session_count() == 0
+        assert service.sessions.inflight() == 0
+
+    def test_deterministic_request_counts_per_seed(self):
+        a = run_load(make_service(), clients=4, interactions=3, seed=9)
+        b = run_load(make_service(), clients=4, interactions=3, seed=9)
+        # same seed ⇒ same zipf picks and walk lengths on both runs
+        assert a.requests == b.requests
+
+    def test_busy_rejections_counted_not_errored(self):
+        import sys
+
+        service = make_service()
+        service.limits.max_inflight = 1
+        service.sessions.limits.max_inflight = 1
+        previous = sys.getswitchinterval()
+        sys.setswitchinterval(0.0002)
+        try:
+            report = run_load(service, clients=12, interactions=4, seed=0)
+        finally:
+            sys.setswitchinterval(previous)
+        assert report.errors == 0
+        assert report.requests > 0
+        assert service.sessions.inflight() == 0
+
+    def test_tcp_client_factory_drives_a_live_socket(self):
+        service = make_service()
+        mix = MixServer(service, ("127.0.0.1", 0))
+        address = mix.start_in_thread()
+        try:
+            report = run_load(
+                service, clients=4, interactions=2, seed=1,
+                client_factory=lambda: TcpClient(address),
+            )
+            assert report.errors == 0
+            assert report.requests > 0
+        finally:
+            mix.stop()
+
+    def test_think_time_spaces_interactions(self):
+        report = run_load(
+            make_service(), clients=2, interactions=2, think_time=0.01,
+            seed=0,
+        )
+        assert report.errors == 0
+        assert report.seconds >= 0.01  # at least one think happened
+
+
+class TestBenchJson:
+    def test_write_bench_json_is_pr4_shaped(self, tmp_path):
+        report = run_load(make_service(), clients=3, interactions=1, seed=0)
+        path = write_bench_json(str(tmp_path), [("serve", report)])
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["series"] == "SERVE"
+        record = payload["records"][0]
+        assert record["name"] == "serve"
+        assert record["params"]["clients"] == 3
+        assert set(record["counters"]) >= {
+            "requests", "errors", "rejected", "throughput_rps",
+            "p50_ms", "p95_ms", "p99_ms",
+        }
+        assert record["seconds"] > 0
