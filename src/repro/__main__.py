@@ -52,6 +52,11 @@ off and ``--cache-size=N`` bounds each level (``0`` also disables).
 Statistics-driven cost-based planning (:mod:`repro.optimizer`) is also
 on by default; ``--no-optimizer`` falls back to the seed's syntactic
 plans.
+
+Block-at-a-time execution (:mod:`repro.engine.block`) is on by default;
+``--block-size=N`` tunes the vector width for ``demo``, ``explain``,
+``serve``, and ``bench-serve`` — ``--block-size=1`` restores the seed's
+tuple-at-a-time pipeline (and its byte-identical EXPLAIN output).
 """
 
 from __future__ import annotations
@@ -77,7 +82,7 @@ def _paper_database(stats=None):
 
 
 def _paper_mediator(fault_profile=None, fault_seed=0, cache=True,
-                    cache_size=128, cost_optimizer=True):
+                    cache_size=128, cost_optimizer=True, block_size=None):
     from repro import Instrument, Mediator, RelationalWrapper
 
     stats = Instrument()
@@ -89,16 +94,23 @@ def _paper_mediator(fault_profile=None, fault_seed=0, cache=True,
     )
     if fault_profile is None:
         mediator = Mediator(stats=stats, cache=cache, cache_size=cache_size,
-                            cost_optimizer=cost_optimizer)
+                            cost_optimizer=cost_optimizer,
+                            block_size=block_size)
         return stats, mediator.add_source(wrapper)
     source = _faulty_source(wrapper, fault_profile, fault_seed, stats)
     # SQL push-down off: the demo should *navigate* the faulty source,
     # so the injected pull faults (and their recovery) actually fire.
     # The cache stays on when asked: the degrade policy automatically
     # keeps poisoned answers out of the navigation memo.
+    # Fault profiles default to tuple mode: their schedules fire by pull
+    # position, and block prefetching reorders pulls — the profile
+    # narratives (which fault fires where, when the breaker trips) are
+    # written against the seed's demand order.  An explicit
+    # ``--block-size`` still wins.
     mediator = Mediator(
         stats=stats, push_sql=False, on_source_error="degrade",
         cache=cache, cache_size=cache_size, cost_optimizer=cost_optimizer,
+        block_size=1 if block_size is None else block_size,
     )
     return stats, mediator.add_source(source)
 
@@ -185,6 +197,23 @@ def _optimizer_options(args):
     return cost, args
 
 
+def _block_options(args):
+    """Extract ``--block-size=N`` (default: the mediator's own default,
+    :data:`repro.engine.block.DEFAULT_BLOCK_SIZE`; ``1`` is the seed's
+    tuple-at-a-time mode)."""
+    size, args = _pop_option(args, "--block-size")
+    if size is None:
+        return None, args
+    try:
+        size = int(size)
+    except ValueError:
+        raise SystemExit("--block-size expects an integer, got {!r}".format(
+            size))
+    if size < 1:
+        raise SystemExit("--block-size must be >= 1, got {}".format(size))
+    return size, args
+
+
 def _cache_options(args):
     """Extract ``--no-cache`` / ``--cache-size=N`` (CLI default: on)."""
     cache = "--no-cache" not in args
@@ -213,9 +242,11 @@ def cmd_demo(args=()):
     profile, seed, args = _fault_options(list(args))
     cache, cache_size, args = _cache_options(args)
     cost, args = _optimizer_options(args)
+    block_size, args = _block_options(args)
     stats, mediator = _paper_mediator(
         fault_profile=profile, fault_seed=seed,
         cache=cache, cache_size=cache_size, cost_optimizer=cost,
+        block_size=block_size,
     )
     if profile is not None:
         # The scripted Example 2.1 walk assumes every step lands on a
@@ -329,6 +360,7 @@ def cmd_explain(args=()):
     profile, seed, args = _fault_options(args)
     cache, cache_size, args = _cache_options(args)
     cost, args = _optimizer_options(args)
+    block_size, args = _block_options(args)
     query = Q1
     if args:
         try:
@@ -341,6 +373,7 @@ def cmd_explain(args=()):
     __, mediator = _paper_mediator(
         fault_profile=profile, fault_seed=seed,
         cache=cache, cache_size=cache_size, cost_optimizer=cost,
+        block_size=block_size,
     )
     if analyze_first:
         analyzed = mediator.analyze_sources()
@@ -521,6 +554,7 @@ def cmd_serve(args=()):
     args = list(args)
     cache, cache_size, args = _cache_options(args)
     cost, args = _optimizer_options(args)
+    block_size, args = _block_options(args)
     host, args = _pop_option(args, "--host")
     port, args = _int_option(args, "--port", 4617)
     max_sessions, args = _int_option(args, "--max-sessions", 512)
@@ -535,7 +569,8 @@ def cmd_serve(args=()):
         .register_document("root2", "orders", element_label="order")
     )
     mediator = Mediator(stats=stats, cache=cache, cache_size=cache_size,
-                        cost_optimizer=cost).add_source(wrapper)
+                        cost_optimizer=cost,
+                        block_size=block_size).add_source(wrapper)
     service = MediatorService(
         mediator,
         limits=ServerLimits(max_sessions=max_sessions,
@@ -579,6 +614,7 @@ def cmd_bench_serve(args=()):
     args = list(args)
     cache, cache_size, args = _cache_options(args)
     cost, args = _optimizer_options(args)
+    block_size, args = _block_options(args)
     clients, args = _int_option(args, "--clients", 120)
     interactions, args = _int_option(args, "--interactions", 8)
     seed, args = _int_option(args, "--seed", 0)
@@ -598,7 +634,7 @@ def cmd_bench_serve(args=()):
     )
     mediator = Mediator(
         stats=built.stats, cache=cache, cache_size=cache_size,
-        cost_optimizer=cost,
+        cost_optimizer=cost, block_size=block_size,
     ).add_source(built.wrapper)
     service = MediatorService(
         mediator,
@@ -651,7 +687,8 @@ def main(argv=None):
               "|serve|bench-serve}"
               " [--fault-profile=" + "|".join(FAULT_PROFILES) +
               "] [--fault-seed=N] [--no-cache] [--cache-size=N]"
-              " [--no-optimizer] [--analyze] [--json] [--strict]"
+              " [--no-optimizer] [--block-size=N] [--analyze]"
+              " [--json] [--strict]"
               " [--host=H] [--port=N] [--clients=N] [--bench-json[=DIR]]")
         return 2
     return commands[argv[0]](argv[1:])

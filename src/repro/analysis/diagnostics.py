@@ -48,6 +48,8 @@ CODES = {
                         " know"),
     "MIX-E010": (ERROR, "join/semijoin condition references a variable"
                         " bound by neither input"),
+    "MIX-E011": (ERROR, "block pipeline diverges from tuple-at-a-time"
+                        " execution (dropped or corrupted binding)"),
     # -- schema-aware XQuery linter ------------------------------------
     "MIX-W001": (WARNING, "dead path expression: the path can never"
                           " match the source schema"),

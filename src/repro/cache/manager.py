@@ -28,6 +28,14 @@ The memo is the correctness-critical one, so it is fenced three ways:
   epoch), and as a final belt a hit re-scans the already-materialized
   prefix for stubs before serving.
 
+Block execution stores nothing new: prefetch-k just makes memo entries
+carry *longer* materialized prefixes (children a bulk command forced
+that no client ever navigated to).  The fences above cover those
+prefixes unchanged — in particular a stub materialized mid-prefetch
+disqualifies the entry exactly like one the client navigated onto, and
+a served hit counts :data:`~repro.stats.PREFETCH_HITS` when navigation
+lands on the shared prefix.
+
 Both levels are safe under concurrent server sessions: the LRU maps
 lock internally (validation runs inside the lock), shared memoized
 trees serialize lazy-tail forcing through the

@@ -20,6 +20,15 @@ Group-by picks the presorted stateless implementation of Table 1 whenever
 the input's inferred sort order clusters the group variables (e.g. below
 an ``orderBy`` or an ``rQ`` whose SQL carries a matching ORDER BY), and
 the buffering stateful one otherwise.
+
+**Block execution** (``block_size > 1``): operators exchange
+:class:`~repro.engine.block.Block` vectors instead of single tuples —
+the per-pull span/counter bookkeeping is paid once per block, pushed-SQL
+rows are fetched ``fetch_block``-at-a-time, and vectorized handlers
+(``_blk_*``) process whole blocks per Python call.  The flattened block
+stream is tuple-for-tuple identical to the seed stream (the
+block-differential battery proves it); ``block_size=1`` (the default
+here) runs the untouched seed code paths.
 """
 
 from __future__ import annotations
@@ -39,6 +48,7 @@ from repro.algebra import operators as ops
 from repro.algebra.bindings import BindingSet, BindingTuple
 from repro.algebra.conditions import skolem_arg_of, KEY, VALUE
 from repro.algebra.values import Skolem, VList, value_key
+from repro.engine.block import VectorBlocks, apply_seeded_defect, flatten
 from repro.engine.gby import (
     input_is_sorted_for,
     presorted_gby_stream,
@@ -61,16 +71,25 @@ class LazyEngine:
         on_source_error: ``"raise"`` (default) propagates source
             failures; ``"degrade"`` substitutes ``<mix:error>`` stubs so
             navigation over the healthy part of the result continues.
+        block_size: tuples per dataflow vector.  ``1`` (default) is the
+            seed tuple-at-a-time pipeline; ``>1`` switches every
+            operator to block-at-a-time execution (same tuples, same
+            order, same source traffic — see :mod:`repro.engine.block`).
     """
 
     def __init__(self, catalog, stats=None, oids=None,
                  force_stateful_gby=False, profiler=None,
-                 on_source_error=RAISE):
+                 on_source_error=RAISE, block_size=1):
         if on_source_error not in (RAISE, DEGRADE):
             raise ValueError(
                 "on_source_error must be 'raise' or 'degrade', "
                 "got {!r}".format(on_source_error)
             )
+        if not isinstance(block_size, int) or block_size < 1:
+            raise ValueError(
+                "block_size must be an int >= 1, got {!r}".format(block_size)
+            )
+        self.block_size = block_size
         self.catalog = catalog
         self.stats = stats or Instrument()
         self.obs = self.stats
@@ -110,13 +129,69 @@ class LazyEngine:
         return root
 
     def stream(self, plan, env):
-        """The lazy tuple stream of a (non-``tD``) plan."""
+        """The lazy tuple stream of a (non-``tD``) plan.
+
+        In block mode this is the flattened block stream — consumers
+        that think in tuples (``gBy`` partition replay, the nested-set
+        values of ``apply``) see the identical tuple sequence either
+        way.
+        """
+        if self.block_size > 1:
+            return LazyList(flatten(self.blocks(plan, env)))
         handler = self._HANDLERS.get(type(plan))
         if handler is None:
             raise PlanError(
                 "no lazy handler for {}".format(type(plan).__name__)
             )
         return LazyList(self._counted(handler(self, plan, env), plan))
+
+    def blocks(self, plan, env):
+        """The lazy :class:`~repro.engine.block.Block` stream of a plan.
+
+        Every operator has a vectorized ``_blk_*`` handler yielding
+        tuple vectors; an operator without one falls back to chunking
+        its tuple handler (semantics are identical by construction, only
+        the amortization is lost).  Counting happens here, once per
+        block.
+        """
+        handler = self._BLOCK_HANDLERS.get(type(plan))
+        if handler is not None:
+            vectors = handler(self, plan, env)
+        else:
+            tuple_handler = self._HANDLERS.get(type(plan))
+            if tuple_handler is None:
+                raise PlanError(
+                    "no lazy handler for {}".format(type(plan).__name__)
+                )
+            vectors = ([t] for t in tuple_handler(self, plan, env))
+        return self._counted_blocks(
+            VectorBlocks(vectors, self.block_size), plan
+        )
+
+    def _counted_blocks(self, block_iter, plan):
+        """Per-*block* accounting: one merged operator span, one
+        ``operator_tuples``/``node_count`` bump of ``len(block)`` per
+        pull — the same totals as tuple mode at a fraction of the
+        bookkeeping (this amortization is what E-BLOCK measures)."""
+        obs = self.obs
+        block_iter = iter(block_iter)
+        token = node_token(plan)
+        name = getattr(plan, "opname", type(plan).__name__)
+        attrs = (
+            {"server": plan.server, "sql": plan.sql}
+            if isinstance(plan, ops.RelQuery)
+            else {}
+        )
+        while True:
+            with obs.operator_span(name, key=token, **attrs):
+                try:
+                    block = next(block_iter)
+                except StopIteration:
+                    return
+                block = apply_seeded_defect(block)
+                obs.incr(statnames.OPERATOR_TUPLES, len(block))
+                obs.record_node(token, len(block))
+            yield block
 
     def _counted(self, generator, plan):
         obs = self.obs
@@ -155,6 +230,11 @@ class LazyEngine:
 
     def _td_children(self, plan, env):
         """The child elements a ``tD`` exports, as a lazy generator."""
+        if self.block_size > 1:
+            return self._td_children_blocked(plan, env)
+        return self._td_children_spanned(plan, env)
+
+    def _td_children_spanned(self, plan, env):
         obs = self.obs
         token = node_token(plan)
         inner = self._td_children_raw(plan, env)
@@ -166,6 +246,62 @@ class LazyEngine:
                     return
                 obs.record_node(token)
             yield item
+
+    def _td_children_blocked(self, plan, env):
+        """Block-mode ``tD`` export: one span per input block.
+
+        Node-valued exports are unpacked (and counted) a whole block at
+        a time; set-valued exports (``VList``) stay lazy per item so the
+        export never forces more of a nested stream than navigation
+        demanded.  The outermost degradation net is the same as tuple
+        mode's: a source failure escaping the operators becomes one stub
+        child and ends the export.
+        """
+        obs = self.obs
+        token = node_token(plan)
+        var = plan.var
+        blocks = iter(self.blocks(plan.input, env))
+        while True:
+            stub = None
+            with obs.operator_span("tD", key=token):
+                try:
+                    block = next(blocks)
+                except StopIteration:
+                    return
+                except SourceError as exc:
+                    if self.on_source_error != DEGRADE:
+                        raise
+                    stub = self._degraded_stub(exc)
+                else:
+                    values = []
+                    direct = 0
+                    for t in block:
+                        value = t.get(var)
+                        if isinstance(value, Node):
+                            values.append(value)
+                            direct += 1
+                        elif isinstance(value, VList):
+                            values.append(value)
+                        else:
+                            raise EvaluationError(
+                                "tD variable {} bound to a nested "
+                                "set".format(var)
+                            )
+                    obs.record_node(token, direct)
+            if stub is not None:
+                yield stub
+                return
+            for value in values:
+                if isinstance(value, Node):
+                    yield value
+                    continue
+                for item in value:
+                    if not isinstance(item, Node):
+                        raise EvaluationError(
+                            "tD cannot export nested sets"
+                        )
+                    obs.record_node(token)
+                    yield item
 
     def _td_children_raw(self, plan, env):
         # The outermost degradation net: a source failure that escapes
@@ -435,7 +571,225 @@ class LazyEngine:
         )
         return iter(tuples)
 
+    # -- vectorized (block-at-a-time) operators -----------------------------------
+    #
+    # Each ``_blk_*`` handler consumes its input via :meth:`blocks` and
+    # yields *vectors* (plain lists of tuples, one per input block);
+    # :class:`~repro.engine.block.VectorBlocks` repacks them into
+    # fixed-size blocks and parks mid-vector exceptions so failures keep
+    # their tuple-mode positions.
+
+    def _blk_relquery(self, plan, env):
+        from repro.engine.eager import _assemble_rq_element
+
+        try:
+            server = self.catalog.server(plan.server)
+            self.obs.incr(statnames.RQ_STATEMENTS)
+            self.obs.event("sql", plan.sql, server=plan.server)
+            cursor = server.execute_sql(plan.sql)
+        except SourceError as exc:
+            if self.on_source_error != DEGRADE:
+                raise
+            stub = self._degraded_stub(exc, source=plan.server)
+            yield [BindingTuple(
+                {entry.var: stub for entry in plan.varmap}
+            )]
+            return
+        size = self.block_size
+        fetch = getattr(cursor, "fetch_block", None)
+        if fetch is None:
+            fetch = cursor.fetchmany
+        varmap = plan.varmap
+        while True:
+            rows = fetch(size)
+            if not rows:
+                return
+            self.obs.incr(statnames.BLOCKS_SHIPPED)
+            out = []
+            for row in rows:
+                bindings = {}
+                for entry in varmap:
+                    value = _assemble_rq_element(entry, row, self.oids)
+                    if value is None:  # NULL field: drop the row
+                        bindings = None
+                        break
+                    bindings[entry.var] = value
+                if bindings is not None:
+                    out.append(BindingTuple(bindings))
+            yield out
+
+    def _blk_getd(self, plan, env):
+        path, in_var, out_var = plan.path, plan.in_var, plan.out_var
+        for block in self.blocks(plan.input, env):
+            out = []
+            for t in block:
+                for match in eval_path_on_value(t.get(in_var), path):
+                    out.append(t.extend(out_var, match))
+            yield out
+
+    def _blk_select(self, plan, env):
+        condition = plan.condition
+        for block in self.blocks(plan.input, env):
+            yield [t for t in block if condition.evaluate(t)]
+
+    def _blk_project(self, plan, env):
+        variables = plan.variables
+        seen = set()
+        for block in self.blocks(plan.input, env):
+            out = []
+            for t in block:
+                projected = t.project(variables)
+                key = projected.key(variables)
+                if key not in seen:
+                    seen.add(key)
+                    out.append(projected)
+            yield out
+
+    def _blk_join(self, plan, env):
+        hash_conds, loop_conds = _split_join_conditions(plan.conditions)
+        if hash_conds:
+            left_defined, right_defined = self._join_sides(plan)
+            index = None
+            for lblock in self.blocks(plan.left, env):
+                if index is None:
+                    # Build on first probe block: an empty left input
+                    # never touches the right source, as in tuple mode.
+                    index = _build_join_index(
+                        flatten(self.blocks(plan.right, env)),
+                        hash_conds, left_defined, right_defined,
+                    )
+                out = []
+                for lt in lblock:
+                    probe_key = _probe_key(
+                        lt, hash_conds, left_defined, right_defined
+                    )
+                    for rt in index.get(probe_key, ()):
+                        if all(
+                            c.evaluate(lt, extra=rt) for c in loop_conds
+                        ):
+                            out.append(lt.merge(rt))
+                yield out
+        else:
+            right = self.stream(plan.right, env)
+            for lblock in self.blocks(plan.left, env):
+                out = []
+                for lt in lblock:
+                    for rt in right:
+                        if all(
+                            c.evaluate(lt, extra=rt)
+                            for c in plan.conditions
+                        ):
+                            out.append(lt.merge(rt))
+                yield out
+
+    def _blk_semijoin(self, plan, env):
+        if plan.keep == "left":
+            keep_plan, probe_plan = plan.left, plan.right
+        else:
+            keep_plan, probe_plan = plan.right, plan.left
+        probe = self.stream(probe_plan, env)
+        probe_materialized = None
+        seen = set()
+        for kblock in self.blocks(keep_plan, env):
+            out = []
+            for kt in kblock:
+                if probe_materialized is None:
+                    probe_materialized = probe.materialize()
+                matched = False
+                for pt in probe_materialized:
+                    first, second = (
+                        (kt, pt) if plan.keep == "left" else (pt, kt)
+                    )
+                    if all(
+                        c.evaluate(first, extra=second)
+                        for c in plan.conditions
+                    ):
+                        matched = True
+                        break
+                if matched:
+                    key = kt.key()
+                    if key not in seen:
+                        seen.add(key)
+                        out.append(kt)
+            yield out
+
+    def _blk_crelt(self, plan, env):
+        out_var = plan.out_var
+        for block in self.blocks(plan.input, env):
+            yield [
+                t.extend(out_var, self._build_element(plan, t))
+                for t in block
+            ]
+
+    def _blk_cat(self, plan, env):
+        for block in self.blocks(plan.input, env):
+            out = []
+            for t in block:
+                x = _lazy_as_list(t.get(plan.x_var), plan.x_single)
+                y = _lazy_as_list(t.get(plan.y_var), plan.y_single)
+                out.append(t.extend(plan.out_var, x.lazy_concat(y)))
+            yield out
+
+    def _blk_apply(self, plan, env):
+        for block in self.blocks(plan.input, env):
+            out = []
+            for t in block:
+                inner_env = dict(env)
+                if plan.inp_var is not None:
+                    inner_env[plan.inp_var] = t.get(plan.inp_var)
+                if isinstance(plan.plan, ops.TD):
+                    value = VList(
+                        lazy_tail=self._td_children(plan.plan, inner_env)
+                    )
+                else:
+                    inner_stream = self.stream(plan.plan, inner_env)
+                    value = BindingSet(lazy_tail=iter(inner_stream))
+                out.append(t.extend(plan.out_var, value))
+            yield out
+
+    def _blk_nestedsrc(self, plan, env):
+        if plan.var not in env:
+            raise EvaluationError(
+                "nestedSrc({}) evaluated outside an apply".format(plan.var)
+            )
+        size = self.block_size
+        buf = []
+        for t in env[plan.var]:
+            buf.append(t)
+            if len(buf) >= size:
+                yield buf
+                buf = []
+        if buf:
+            yield buf
+
+    def _blk_orderby(self, plan, env):
+        tuples = self.stream(plan.input, env).materialize()
+        tuples.sort(
+            key=lambda t: tuple(
+                repr(value_key(t.get(v))) for v in plan.variables
+            )
+        )
+        yield tuples
+
+    def _vec_mksrc(self, plan, env):
+        # The degrade/retry/skip net of the tuple handler is the
+        # semantics; blocks only batch the delivery.  Source-side span
+        # batching happens inside the wrapper (``set_block_size``).
+        for t in self._eval_mksrc(plan, env):
+            yield [t]
+
+    def _vec_groupby(self, plan, env):
+        # gBy reuses the Table-1 streams over the (block-fed, memoized)
+        # input stream; output groups are few, so per-group vectors of
+        # one cost nothing.
+        for t in self._eval_groupby(plan, env):
+            yield [t]
+
+    def _vec_empty(self, plan, env):
+        return iter(())
+
     _HANDLERS = {}
+    _BLOCK_HANDLERS = {}
 
 
 LazyEngine._HANDLERS = {
@@ -453,6 +807,23 @@ LazyEngine._HANDLERS = {
     ops.NestedSrc: LazyEngine._eval_nestedsrc,
     ops.OrderBy: LazyEngine._eval_orderby,
     ops.Empty: LazyEngine._eval_empty,
+}
+
+LazyEngine._BLOCK_HANDLERS = {
+    ops.MkSrc: LazyEngine._vec_mksrc,
+    ops.RelQuery: LazyEngine._blk_relquery,
+    ops.GetD: LazyEngine._blk_getd,
+    ops.Select: LazyEngine._blk_select,
+    ops.Project: LazyEngine._blk_project,
+    ops.Join: LazyEngine._blk_join,
+    ops.SemiJoin: LazyEngine._blk_semijoin,
+    ops.CrElt: LazyEngine._blk_crelt,
+    ops.Cat: LazyEngine._blk_cat,
+    ops.GroupBy: LazyEngine._vec_groupby,
+    ops.Apply: LazyEngine._blk_apply,
+    ops.NestedSrc: LazyEngine._blk_nestedsrc,
+    ops.OrderBy: LazyEngine._blk_orderby,
+    ops.Empty: LazyEngine._vec_empty,
 }
 
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from repro.errors import NavigationError
 from repro.algebra.values import Skolem
-from repro.stats import QDOM_COMMANDS
+from repro.stats import PREFETCH_HITS, QDOM_COMMANDS
 
 
 class _NullContext:
@@ -64,37 +64,65 @@ class VNode:
 
     VNodes are cheap wrappers: the underlying :class:`Node` may have a
     lazy tail, and navigation forces exactly the prefix it visits.
+
+    **Prefetch** (block execution): with ``prefetch=k > 1`` every
+    ``d``/``r`` that must force the underlying tail forces up to ``k``
+    children in one go (best-effort — a failure past the demanded child
+    stays parked, see :meth:`Node.prefetch_children`); subsequent
+    commands land on the materialized prefix and count
+    :data:`~repro.stats.PREFETCH_HITS` instead of touching the engine.
+    ``prefetch=1`` is the seed's one-hop-one-force behavior.
     """
 
-    __slots__ = ("node", "parent", "index", "fixed", "is_root", "obs")
+    __slots__ = ("node", "parent", "index", "fixed", "is_root", "obs",
+                 "prefetch")
 
     def __init__(self, node, parent=None, index=0, fixed=None, is_root=False,
-                 obs=None):
+                 obs=None, prefetch=1):
         self.node = node
         self.parent = parent
         self.index = index
         self.fixed = dict(fixed or {})
         self.is_root = is_root
         self.obs = obs
+        self.prefetch = max(int(prefetch), 1)
 
     # -- construction -------------------------------------------------------------
 
     @classmethod
-    def root(cls, node, obs=None):
+    def root(cls, node, obs=None, prefetch=1):
         """Wrap a result root (the ``tD`` output).
 
         ``obs`` is the :class:`~repro.obs.Instrument` navigation commands
-        report to; it is inherited by every VNode reached from here.
+        report to; it — like ``prefetch`` — is inherited by every VNode
+        reached from here.
         """
-        return cls(node, is_root=True, obs=obs)
+        return cls(node, is_root=True, obs=obs, prefetch=prefetch)
 
     def _wrap_child(self, child, index):
         fixed = dict(self.fixed)
         if isinstance(child.oid, Skolem):
             fixed.update(child.oid.fixed_bindings())
         return VNode(
-            child, parent=self, index=index, fixed=fixed, obs=self.obs
+            child, parent=self, index=index, fixed=fixed, obs=self.obs,
+            prefetch=self.prefetch,
         )
+
+    def _child_prefetched(self, index):
+        """``node.child(index)``, forcing ``prefetch`` children at once.
+
+        Reads of the already-materialized prefix never force (and never
+        raise) — they are the prefetch hits the counters expose.
+        """
+        node = self.node
+        if self.prefetch <= 1:
+            return node.child(index)
+        if node.materialized_child_count > index:
+            if self.obs is not None:
+                self.obs.incr(PREFETCH_HITS)
+            return node.child(index)
+        node.prefetch_children(index + 1, self.prefetch - 1)
+        return node.child(index)
 
     def _command(self, name):
         """The span of one QDOM command arriving at this node."""
@@ -110,7 +138,7 @@ class VNode:
     def down(self):
         """``d(p)``: the first child, or ``None`` on a leaf."""
         with self._command("d"):
-            child = self.node.child(0)
+            child = self._child_prefetched(0)
             if child is None:
                 return None
             return self._wrap_child(child, 0)
@@ -120,10 +148,35 @@ class VNode:
         with self._command("r"):
             if self.parent is None:
                 return None
-            sibling = self.parent.node.child(self.index + 1)
+            sibling = self.parent._child_prefetched(self.index + 1)
             if sibling is None:
                 return None
             return self.parent._wrap_child(sibling, self.index + 1)
+
+    def down_many(self, count=None):
+        """``d_many(p, k)``: the first ``count`` children (all when
+        ``None``) under **one** command span — the bulk-navigation
+        command of block execution.  Children forced by an earlier
+        prefetch are counted as hits; the rest are forced in
+        ``prefetch``-sized steps."""
+        with self._command("d_many"):
+            node = self.node
+            already = node.materialized_child_count
+            step = self.prefetch
+            if count is None:
+                while not node.fully_materialized:
+                    node.prefetch_children(
+                        node.materialized_child_count + step, 0
+                    )
+                total = node.materialized_child_count
+            else:
+                node.prefetch_children(count, 0)
+                total = min(count, node.materialized_child_count)
+            if self.obs is not None and already:
+                self.obs.incr(PREFETCH_HITS, min(already, total))
+            return [
+                self._wrap_child(node.child(i), i) for i in range(total)
+            ]
 
     def label(self):
         """``fl(p)``: the node's label."""

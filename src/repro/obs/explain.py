@@ -99,15 +99,25 @@ def explain_analyze_with_trace(mediator, query_text, mask_times=False):
     policy = getattr(mediator, "on_source_error", "raise")
     before = _resilience_snapshot(mediator.catalog)
     cache_before = _cache_snapshot(mediator.catalog)
+    block_size = getattr(mediator, "block_size", 1)
     with instrument.command_span(
         "explain", kind="explain", query=_clip(query_text)
     ):
         if mediator.lazy:
             engine = LazyEngine(
-                mediator.catalog, stats=instrument, on_source_error=policy
+                mediator.catalog, stats=instrument, on_source_error=policy,
+                block_size=block_size,
             )
             root = engine.evaluate_tree(exec_plan)
-            walk_fully(VNode.root(root))
+            if block_size > 1:
+                # Block mode: the walk rides the prefetch path with the
+                # explain instrument attached, so the footer's
+                # prefetch_hits reflect this evaluation.
+                walk_fully(
+                    VNode.root(root, obs=instrument, prefetch=block_size)
+                )
+            else:
+                walk_fully(VNode.root(root))
         else:
             engine = EagerEngine(
                 mediator.catalog, stats=instrument, on_source_error=policy
@@ -156,6 +166,17 @@ def explain_analyze_with_trace(mediator, query_text, mask_times=False):
     footer = "-- tuples={} rq_statements={}".format(
         instrument.get("operator_tuples"), instrument.get("rq_statements")
     )
+    if block_size > 1:
+        # Only in block mode: the seed's tuple-mode goldens stay
+        # byte-identical at block_size=1.
+        footer += (
+            "\n-- block: size={} blocks_shipped={} "
+            "prefetch_hits={}".format(
+                block_size,
+                instrument.get("blocks_shipped"),
+                instrument.get("prefetch_hits"),
+            )
+        )
     footer += "\n-- plan_cache: {}".format(plan_status)
     if verify_report is not None:
         footer += "\n-- verified: {}".format(_verify_summary(verify_report))

@@ -60,6 +60,21 @@ class QdomNode:
         """
         return self._mediator.query_from(self, query_text)
 
+    def d_many(self, count=None):
+        """``d_many(p, k)``: the first ``count`` children (all when
+        ``None``) in **one** bulk navigation command.
+
+        This is block execution's bulk command: one command span, one
+        engine descent, children forced prefetch-k at a time.  With
+        ``block_size=1`` mediators it degrades to a single-step force
+        per child but still costs only one command.
+        """
+        children = self._vnode.down_many(count)
+        return [
+            QdomNode(self._mediator, child, self.view_plan)
+            for child in children
+        ]
+
     # -- conveniences (not QDOM commands) --------------------------------------------
 
     @property
@@ -68,13 +83,70 @@ class QdomNode:
         return self._vnode.node.oid
 
     def children(self):
-        """All children (forces them)."""
+        """All children (forces them).
+
+        Under a block-mode mediator this rides the bulk ``d_many``
+        command; in tuple mode (``block_size=1``) it replays the seed's
+        one-command-per-hop ``d``/``r`` loop, keeping navigation
+        transcripts and command counts seed-identical.
+        """
+        if self._vnode.prefetch > 1:
+            return self.d_many()
         out = []
         child = self.d()
         while child is not None:
             out.append(child)
             child = child.r()
         return out
+
+    def walk(self, budget=None):
+        """Depth-first ``[depth, label]`` transcript below this node,
+        optionally stopping after ``budget`` landings.
+
+        Returns ``(steps, truncated)``.  The transcript is identical at
+        every block size; block-mode mediators produce it via bulk
+        ``d_many`` commands (labels ride the bulk reply — no per-child
+        ``fl`` round trips), tuple mode via the seed's per-hop
+        ``d``/``r``/``fl`` commands.  This is the deep lazy walk E-BLOCK
+        measures, and what the server's ``walk`` op serves.
+        """
+        from repro.engine.vtree import VNode
+
+        steps = []
+        remaining = [float("inf") if budget is None else budget]
+        vnode = self._vnode
+        bulk = vnode.prefetch > 1
+
+        def rec_bulk(node, depth):
+            # A bulk reply ships whole blocks: subtrees that earlier
+            # d_many replies already materialized are walked client-
+            # locally, with no further commands.  Only nodes still owing
+            # a lazy tail cost a command (and its span).
+            if not node.fully_materialized or node.is_broken:
+                VNode(node, obs=vnode.obs,
+                      prefetch=vnode.prefetch).down_many()
+            for child in node.materialized_children():
+                if remaining[0] <= 0:
+                    return
+                remaining[0] -= 1
+                steps.append([depth, child.label])
+                rec_bulk(child, depth + 1)
+
+        def rec_seed(node, depth):
+            child = node.d()
+            while child is not None and remaining[0] > 0:
+                remaining[0] -= 1
+                steps.append([depth, child.fl()])
+                rec_seed(child, depth + 1)
+                if remaining[0] <= 0:
+                    return
+                child = child.r()
+
+        if bulk:
+            rec_bulk(vnode.node, 0)
+        else:
+            rec_seed(self, 0)
+        return steps, remaining[0] <= 0
 
     def find(self, label):
         """First child with the given label, or ``None``."""

@@ -66,17 +66,40 @@ class Mediator:
             raises :class:`~repro.errors.PlanVerificationError` naming
             the offending stage.  Verification results are cached with
             the plan, so warm plan-cache hits never re-verify.
+        block_size: tuples per dataflow vector / children per
+            navigation prefetch (block-at-a-time execution, on by
+            default at :data:`~repro.engine.block.DEFAULT_BLOCK_SIZE`).
+            Answers are byte-identical at every size and
+            ``tuples_shipped`` is unchanged; sizes ``> 1`` amortize the
+            per-tuple engine bookkeeping and per-hop navigation
+            commands (see E-BLOCK).  ``1`` reproduces the seed's
+            tuple-at-a-time pipeline and per-hop command transcripts
+            exactly (strict shipping-minimality and golden-trace tests
+            pin this).  Sources added through :meth:`add_source` that
+            support ``set_block_size`` batch their row fetches to the
+            same width.
     """
 
     def __init__(self, catalog=None, stats=None, optimize=True,
                  push_sql=True, lazy=True, dedup_groups=False,
                  on_source_error="raise", cache=False, cache_size=128,
-                 cost_optimizer=True, strict=False):
+                 cost_optimizer=True, strict=False, block_size=None):
         if on_source_error not in ("raise", "degrade"):
             raise ValueError(
                 "on_source_error must be 'raise' or 'degrade', "
                 "got {!r}".format(on_source_error)
             )
+        if block_size is None:
+            from repro.engine.block import DEFAULT_BLOCK_SIZE
+
+            block_size = DEFAULT_BLOCK_SIZE
+        if not isinstance(block_size, int) or block_size < 1:
+            raise ValueError(
+                "block_size must be an int >= 1, got {!r}".format(
+                    block_size
+                )
+            )
+        self.block_size = block_size
         self.catalog = catalog or SourceCatalog()
         self.stats = stats or Instrument()
         self.obs = self.stats
@@ -119,6 +142,9 @@ class Mediator:
         set_cost = getattr(source, "set_cost_optimizer", None)
         if callable(set_cost):
             set_cost(self.cost_optimizer)
+        set_block = getattr(source, "set_block_size", None)
+        if callable(set_block):
+            set_block(self.block_size)
         return self
 
     def analyze_sources(self):
@@ -225,7 +251,10 @@ class Mediator:
                 if entry is not None:
                     return QdomNode(
                         self,
-                        VNode.root(entry.root, obs=self.obs),
+                        VNode.root(
+                            entry.root, obs=self.obs,
+                            prefetch=self.block_size,
+                        ),
                         entry.compose_plan,
                     )
             root = self._evaluate(exec_plan, policy)
@@ -233,7 +262,11 @@ class Mediator:
                 self.cache.store_result(
                     key, root, compose_plan, self.catalog
                 )
-            return QdomNode(self, VNode.root(root, obs=self.obs), compose_plan)
+            return QdomNode(
+                self,
+                VNode.root(root, obs=self.obs, prefetch=self.block_size),
+                compose_plan,
+            )
 
     def query_from(self, qdom_node, query_text):
         """Run an XQuery whose ``document(root)`` is ``qdom_node``.
@@ -393,30 +426,45 @@ class Mediator:
         exec_plan, compose_plan = self.optimize_plan(plan)
         policy = on_source_error or self.on_source_error
         root = self._evaluate(exec_plan, policy)
-        return QdomNode(self, VNode.root(root, obs=self.obs), compose_plan)
+        return QdomNode(
+            self,
+            VNode.root(root, obs=self.obs, prefetch=self.block_size),
+            compose_plan,
+        )
 
     def _evaluate(self, exec_plan, policy):
         """Evaluate an executable plan to its answer root Node."""
-        engine_cls = LazyEngine if self.lazy else EagerEngine
-        engine = engine_cls(
-            self.catalog, stats=self.stats, on_source_error=policy
-        )
+        if self.lazy:
+            engine = LazyEngine(
+                self.catalog, stats=self.stats, on_source_error=policy,
+                block_size=self.block_size,
+            )
+        else:
+            # The eager engine materializes everything up front; block
+            # vectors would change nothing it measures.
+            engine = EagerEngine(
+                self.catalog, stats=self.stats, on_source_error=policy
+            )
         return engine.evaluate_tree(exec_plan)
 
     # -- static analysis --------------------------------------------------------------
 
-    def verify_query(self, query_text):
+    def verify_query(self, query_text, block_check=False):
         """Per-stage static verification of ``query_text``'s pipeline.
 
         Recompiles outside the plan cache (without consuming a view id,
         so repeated calls never perturb plan naming) and runs the plan
         verifier after translate, after every rewrite step, and after
-        the SQL split.  Returns a
+        the SQL split.  ``block_check=True`` adds the runtime
+        block-vs-tuple differential stage (``MIX-E011``) — opt-in, as
+        it evaluates the plan against the live sources.  Returns a
         :class:`~repro.analysis.PipelineReport`.
         """
         from repro.analysis import verify_query_pipeline
 
-        return verify_query_pipeline(self, query_text)
+        return verify_query_pipeline(
+            self, query_text, block_check=block_check
+        )
 
     def lint(self, query_text):
         """Schema-aware lint of ``query_text`` against this mediator's

@@ -24,6 +24,7 @@ class Cursor:
         self._rows = iter(rows)
         self._stats = stats
         self._closed = False
+        self._pending_exc = None
         self.rows_fetched = 0
 
     def fetchone(self):
@@ -48,6 +49,39 @@ class Cursor:
             if row is None:
                 break
             out.append(row)
+        return out
+
+    def fetch_block(self, size):
+        """Up to ``size`` rows as one shipped block (block execution).
+
+        Row accounting is unchanged — every row still counts one
+        :data:`~repro.stats.TUPLES_SHIPPED` — but each non-empty batch
+        additionally counts one :data:`~repro.stats.BLOCKS_SHIPPED`, so
+        block-vs-tuple runs ship identical row totals while the block
+        counter exposes the batching.
+
+        A row generator that fails mid-batch loses nothing: the rows
+        fetched before the failure are returned as a partial block and
+        the exception is re-raised on the *next* call, exactly where a
+        ``fetchone`` loop would have surfaced it.
+        """
+        if self._pending_exc is not None:
+            exc, self._pending_exc = self._pending_exc, None
+            raise exc
+        out = []
+        for _ in range(size):
+            try:
+                row = self.fetchone()
+            except Exception as exc:
+                if not out:
+                    raise
+                self._pending_exc = exc
+                break
+            if row is None:
+                break
+            out.append(row)
+        if out and self._stats is not None:
+            self._stats.incr(statnames.BLOCKS_SHIPPED)
         return out
 
     def fetchall(self):

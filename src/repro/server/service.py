@@ -231,24 +231,14 @@ class MediatorService:
         return _descriptor(session, node.find(request.get("label")))
 
     def _op_walk(self, request):
+        # Delegates to QdomNode.walk: under a block-mode mediator the
+        # transcript is produced with bulk d_many commands riding the
+        # prefetch path; at block_size=1 it replays the seed's per-hop
+        # loop.  The reply is identical either way.
         session = self._session(request)
         node = self._node(request, session)
-        budget = request.get("budget")
-        steps = []
-        remaining = [float("inf") if budget is None else budget]
-
-        def rec(current, depth):
-            child = current.d()
-            while child is not None and remaining[0] > 0:
-                remaining[0] -= 1
-                steps.append([depth, child.fl()])
-                rec(child, depth + 1)
-                if remaining[0] <= 0:
-                    return
-                child = child.r()
-
-        rec(node, 0)
-        return {"steps": steps, "truncated": remaining[0] <= 0}
+        steps, truncated = node.walk(request.get("budget"))
+        return {"steps": steps, "truncated": truncated}
 
     def _op_tree(self, request):
         session = self._session(request)

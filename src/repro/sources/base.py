@@ -31,6 +31,15 @@ class Source:
     their inner source automatically via ``__getattr__``; a source
     without the method is treated as unversioned and excluded from
     result-level caching.
+
+    ``set_block_size(size)`` is duck-typed the same way (block
+    execution): a block-mode mediator calls it on every registered
+    source that has it, and sources that do (the relational wrapper)
+    switch :meth:`iter_document_children` to cursor batches of
+    ``size`` rows — one source span per batch, still one element per
+    pull, so navigation semantics and ``tuples_shipped`` are
+    unchanged.  Sources without the method simply stay tuple-at-a-time
+    behind the same iterator interface.
     """
 
     def document_ids(self):

@@ -36,6 +36,25 @@ class RelationalWrapper(Source):
         self._documents = {}  # doc_id -> (table name, element label)
         self._oids = OidGenerator("w")
         self._sql_cache = None
+        self._block_size = 1
+
+    # -- block execution ----------------------------------------------------------
+
+    def set_block_size(self, size):
+        """Batch document-iteration row fetches to ``size`` rows.
+
+        Set by :meth:`Mediator.add_source` to the mediator's block size.
+        Document iteration still *yields* one element per pull (the
+        engine's laziness contract is untouched, and fault-injecting
+        proxies intercepting the iterator still see every item), but
+        rows cross the cursor boundary ``fetch_block``-at-a-time and the
+        per-row wrapper span collapses to one span per block.
+        ``tuples_shipped`` stays per-row; batches count
+        :data:`~repro.stats.BLOCKS_SHIPPED`.
+        """
+        size = int(size)
+        self._block_size = size if size > 1 else 1
+        return self
 
     # -- result caching ----------------------------------------------------------
 
@@ -174,6 +193,25 @@ class RelationalWrapper(Source):
             cursor = self.execute_sql(
                 "SELECT * FROM {}".format(table_name)
             )
+        if self._block_size > 1:
+            schema = table.schema
+            size = self._block_size
+            while True:
+                # One span covers the whole batch: rows cross the
+                # cursor boundary block-at-a-time, but each is still
+                # one source navigation and one shipped tuple.
+                with self._span(stats, span_name, span_key, table_name):
+                    rows = cursor.fetch_block(size)
+                    if not rows:
+                        return
+                    stats.incr(statnames.SOURCE_NAVIGATIONS, len(rows))
+                    elements = [
+                        self.row_to_element(schema, row, label=label)
+                        for row in rows
+                    ]
+                for element in elements:
+                    yield element
+            return
         rows = iter(cursor)
         while True:
             # Each row pull is one source navigation; the span attributes

@@ -49,6 +49,8 @@ FAULTS_INJECTED = "faults_injected"    # faults fired by FaultInjectingSource
 TUPLES_FROM_CACHE = "tuples_from_cache"  # rows replayed by the SQL result cache
 JOIN_TUPLES = "join_tuples"            # tuples flowing through executor joins
 TABLES_ANALYZED = "tables_analyzed"    # tables profiled by ANALYZE
+BLOCKS_SHIPPED = "blocks_shipped"      # row batches fetched block-at-a-time
+PREFETCH_HITS = "prefetch_hits"        # d/r commands served from a prefetched prefix
 
 # Server admission counters (see repro.server).  Requests are counted
 # at the service boundary; rejected = typed-error replies for limits,

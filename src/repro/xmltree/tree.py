@@ -100,6 +100,27 @@ class Node:
                     self._broken = exc
                     raise
 
+    def prefetch_children(self, count, extra=0):
+        """Force ``count`` children strictly, then up to ``extra`` more
+        best-effort (block navigation's prefetch-k).
+
+        The strict part behaves exactly like :meth:`child`: a broken
+        tail inside the demanded prefix raises here.  The *extra* part
+        must not — prefetching past the demanded position may run into a
+        failure the client would only have met several commands later,
+        and surfacing it early would change observable behavior.  The
+        exception stays parked in ``_broken`` (the tail is dead anyway)
+        and re-raises exactly when navigation first asks past the
+        materialized prefix, the same position tuple mode raises at.
+        """
+        self._force(count)
+        if extra <= 0 or (self._tail is None and self._broken is None):
+            return
+        try:
+            self._force(count + extra)
+        except Exception:
+            pass  # parked in _broken; re-raised on genuine demand
+
     def copy_subtree(self):
         """A fully materialized deep copy of this subtree (forces it).
 

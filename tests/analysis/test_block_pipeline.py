@@ -1,0 +1,92 @@
+"""The opt-in ``block-pipeline`` verification stage (MIX-E011).
+
+``verify_query_pipeline(..., block_check=True)`` appends a *runtime*
+differential stage to the static per-stage battery: the executable plan
+runs through both the tuple-at-a-time and the block-vectorized engines
+and the serialized answers must match.  The stage is opt-in because it
+evaluates the plan (the static stages never touch the sources), so
+EXPLAIN's ``verified: 2 stages`` golden footer stays unchanged.
+
+The seeded-defect hook proves the stage actually *catches* divergence:
+arming ``drop-binding`` makes every vectorized operator lose one
+binding from the first tuple of each block — exactly the class of bug a
+buggy vectorized operator would introduce — and the stage must fail
+with ``MIX-E011``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import Q1, make_paper_wrapper
+
+from repro import Mediator
+from repro.analysis import verify_query_pipeline
+from repro.engine.block import clear_block_defect, seed_block_defect
+from repro.errors import PlanVerificationError
+
+
+@pytest.fixture(autouse=True)
+def disarm_defect():
+    yield
+    clear_block_defect()
+
+
+def mediator_with(**kwargs):
+    return Mediator(**kwargs).add_source(make_paper_wrapper())
+
+
+class TestBlockPipelineStage:
+    def test_opt_in_stage_is_appended_and_passes(self):
+        report = mediator_with().verify_query(Q1, block_check=True)
+        assert report.ok
+        assert report.stages[-1].name == "block-pipeline"
+
+    def test_default_report_has_no_block_stage(self):
+        # The EXPLAIN footer counts these stages; adding one by default
+        # would break the "verified: 2 stages" goldens.
+        report = mediator_with().verify_query(Q1)
+        assert "block-pipeline" not in [s.name for s in report.stages]
+
+    def test_function_form_matches_method_form(self):
+        mediator = mediator_with()
+        report = verify_query_pipeline(mediator, Q1, block_check=True)
+        assert report.stages[-1].name == "block-pipeline"
+        assert report.ok
+
+    def test_tuple_mode_mediator_still_probes_block_execution(self):
+        # A block_size=1 mediator verifies against the default width —
+        # the stage is about the *engine pair*, not this mediator's knob.
+        report = mediator_with(block_size=1).verify_query(
+            Q1, block_check=True
+        )
+        assert report.ok
+        assert report.stages[-1].name == "block-pipeline"
+
+    def test_seeded_defect_fails_with_mix_e011(self):
+        seed_block_defect("drop-binding")
+        report = mediator_with().verify_query(Q1, block_check=True)
+        assert not report.ok
+        assert report.failed_stage == "block-pipeline"
+        codes = [d.code for d in report.diagnostics if d.is_error]
+        assert codes == ["MIX-E011"]
+        with pytest.raises(PlanVerificationError):
+            report.raise_if_failed()
+
+    def test_disarmed_defect_passes_again(self):
+        seed_block_defect("drop-binding")
+        assert not mediator_with().verify_query(
+            Q1, block_check=True
+        ).ok
+        clear_block_defect()
+        assert mediator_with().verify_query(Q1, block_check=True).ok
+
+    def test_unknown_defect_kind_is_rejected(self):
+        with pytest.raises(ValueError):
+            seed_block_defect("swap-tuples")
+
+    def test_explain_footer_still_reports_two_stages(self):
+        # Static verification inside explain() must not grow a runtime
+        # stage: the golden footer pins the count.
+        text = mediator_with(block_size=1).explain(Q1, mask_times=True)
+        assert "-- verified: 2 stages" in text

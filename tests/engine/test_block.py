@@ -1,0 +1,310 @@
+"""Block boundary and edge-case battery for :mod:`repro.engine.block`.
+
+The differential suite proves block and tuple execution agree end to
+end; this file pins the primitives' contracts directly — empty and
+partial blocks, oversized widths, exception *parking* (partial output
+first, the failure re-raised at its tuple-mode position), prefetch
+surviving a broken lazy tail, and mid-block faults through the PR-2
+injector.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, Instrument, Mediator, RelationalWrapper
+from repro import stats as statnames
+from repro.engine.block import (
+    Block,
+    BlockedIterator,
+    VectorBlocks,
+    blocked,
+    flatten,
+    rechunk,
+)
+from repro.errors import MixError
+from repro.relational.cursor import Cursor
+from repro.resilience import FaultInjectingSource, ManualClock
+from repro.xmltree import serialize
+from repro.xmltree.tree import Node
+
+
+class Boom(Exception):
+    pass
+
+
+def failing_after(values, exc=None):
+    """A generator yielding ``values`` then raising."""
+    for value in values:
+        yield value
+    raise exc or Boom("stream died")
+
+
+# -- Block ---------------------------------------------------------------------------
+
+
+class TestBlock:
+    def test_basic_shape(self):
+        block = Block([1, 2, 3], capacity=4)
+        assert len(block) == 3
+        assert list(block) == [1, 2, 3]
+        assert block[0] == 1 and block[-1] == 3
+        assert block.is_partial and not block.is_full
+
+    def test_full_and_empty(self):
+        assert Block([1, 2], capacity=2).is_full
+        empty = Block([], capacity=8)
+        assert not empty and len(empty) == 0
+        assert empty.is_partial
+
+    def test_capacity_defaults_to_length(self):
+        assert Block([1, 2, 3]).is_full
+
+
+# -- BlockedIterator -----------------------------------------------------------------
+
+
+class TestBlockedIterator:
+    def test_exact_chunking_with_partial_final_block(self):
+        blocks = list(blocked(iter(range(7)), 3))
+        assert [list(b) for b in blocks] == [[0, 1, 2], [3, 4, 5], [6]]
+        assert [b.is_partial for b in blocks] == [False, False, True]
+
+    def test_block_larger_than_stream(self):
+        blocks = list(blocked(iter(range(3)), 1024))
+        assert len(blocks) == 1
+        assert list(blocks[0]) == [0, 1, 2]
+        assert blocks[0].is_partial
+
+    def test_empty_stream_yields_no_blocks(self):
+        assert list(blocked(iter(()), 4)) == []
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BlockedIterator(iter(()), 0)
+
+    def test_midblock_failure_delivers_partial_then_raises(self):
+        chunker = BlockedIterator(failing_after([1, 2, 3, 4, 5]), 4)
+        assert list(next(chunker)) == [1, 2, 3, 4]
+        # The failure hits inside the second block: its one buffered
+        # tuple arrives first (tuple mode had already produced it) ...
+        partial = next(chunker)
+        assert list(partial) == [5] and partial.is_partial
+        # ... and the exception surfaces on the next pull.
+        with pytest.raises(Boom):
+            next(chunker)
+
+    def test_failure_at_block_start_raises_immediately(self):
+        chunker = BlockedIterator(failing_after([1, 2]), 2)
+        assert list(next(chunker)) == [1, 2]
+        with pytest.raises(Boom):
+            next(chunker)
+
+    def test_skip_delegates_to_the_inner_stream(self):
+        class Skippable:
+            def __init__(self):
+                self.skipped = 0
+
+            def __iter__(self):
+                return self
+
+            def __next__(self):
+                raise StopIteration
+
+            def skip(self):
+                self.skipped += 1
+
+        inner = Skippable()
+        chunker = BlockedIterator(inner, 4)
+        chunker.skip()
+        assert inner.skipped == 1
+        # No inner skip() is a no-op, not an error.
+        BlockedIterator(iter(()), 4).skip()
+
+    def test_reprs_show_shape(self):
+        assert repr(Block([1], capacity=4)) == "Block(1/4)"
+        assert "size=4" in repr(BlockedIterator(iter(()), 4))
+        assert "buffered=0" in repr(VectorBlocks(iter(()), 4))
+
+
+# -- VectorBlocks --------------------------------------------------------------------
+
+
+class TestVectorBlocks:
+    def test_repacks_uneven_vectors_to_fixed_blocks(self):
+        vectors = iter([[1], [], [2, 3, 4], [], [5, 6], [7]])
+        blocks = list(VectorBlocks(vectors, 3))
+        assert [list(b) for b in blocks] == [[1, 2, 3], [4, 5, 6], [7]]
+
+    def test_empty_vectors_produce_no_blocks(self):
+        assert list(VectorBlocks(iter([[], [], []]), 4)) == []
+
+    def test_oversized_vector_is_split(self):
+        blocks = list(VectorBlocks(iter([list(range(10))]), 4))
+        assert [len(b) for b in blocks] == [4, 4, 2]
+        assert list(flatten(iter(blocks))) == list(range(10))
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            VectorBlocks(iter(()), 0)
+
+    def test_buffered_tuples_survive_a_failure(self):
+        def vectors():
+            yield [1, 2]
+            raise Boom("vector source died")
+
+        chunker = VectorBlocks(vectors(), 8)
+        assert list(next(chunker)) == [1, 2]
+        with pytest.raises(Boom):
+            next(chunker)
+
+    def test_failure_with_empty_buffer_raises_immediately(self):
+        chunker = VectorBlocks(failing_after([]), 8)
+        with pytest.raises(Boom):
+            next(chunker)
+
+    def test_rechunk_resizes_a_block_stream(self):
+        blocks = iter([Block([1, 2, 3, 4, 5], capacity=5)])
+        assert [list(b) for b in rechunk(blocks, 2)] == [
+            [1, 2], [3, 4], [5]
+        ]
+
+
+# -- Cursor.fetch_block --------------------------------------------------------------
+
+
+class TestCursorFetchBlock:
+    def test_batches_and_counters(self):
+        stats = Instrument()
+        cursor = Cursor(["a"], iter([(i,) for i in range(5)]), stats=stats)
+        assert cursor.fetch_block(2) == [(0,), (1,)]
+        assert cursor.fetch_block(2) == [(2,), (3,)]
+        assert cursor.fetch_block(2) == [(4,)]
+        assert cursor.fetch_block(2) == []
+        # Rows count per row, blocks per non-empty batch.
+        assert stats.get(statnames.TUPLES_SHIPPED) == 5
+        assert stats.get(statnames.BLOCKS_SHIPPED) == 3
+
+    def test_midbatch_failure_parks_the_exception(self):
+        cursor = Cursor(["a"], failing_after([(1,), (2,), (3,)]))
+        assert cursor.fetch_block(8) == [(1,), (2,), (3,)]
+        with pytest.raises(Boom):
+            cursor.fetch_block(8)
+
+    def test_failure_on_first_row_raises_immediately(self):
+        cursor = Cursor(["a"], failing_after([]))
+        with pytest.raises(Boom):
+            cursor.fetch_block(8)
+
+
+# -- prefetch over broken lazy tails -------------------------------------------------
+
+
+class TestPrefetchBrokenTail:
+    def broken_node(self, good, exc=None):
+        """A node whose lazy tail yields ``good`` children then dies."""
+        children = (Node("&c{}".format(i), "child") for i in range(good))
+        return Node("&p", "parent",
+                    lazy_tail=failing_after(children, exc=exc))
+
+    def test_prefetch_parks_failure_past_the_demanded_child(self):
+        node = self.broken_node(3)
+        # Demand child 0, prefetch 63 more: the tail dies at child 3,
+        # but the prefetch must not surface that ...
+        node.prefetch_children(1, 63)
+        assert node.materialized_child_count == 3
+        # ... reads of the materialized prefix never raise ...
+        for i in range(3):
+            assert node.child(i).label == "child"
+        # ... and genuine demand past the prefix raises, exactly where
+        # tuple mode would have.
+        with pytest.raises(Boom):
+            node.child(3)
+        # A dead tail stays dead: re-demanding re-raises, never
+        # truncates.
+        with pytest.raises(Boom):
+            node.child(3)
+
+    def test_strict_prefix_still_raises(self):
+        node = self.broken_node(1)
+        with pytest.raises(Boom):
+            node.prefetch_children(3, 10)
+
+
+# -- mid-block faults through the PR-2 injector --------------------------------------
+
+
+ORDERS = "FOR $O IN document(root2)/order RETURN $O"
+
+
+def injected_mediator(block_size, positions, on_error="raise",
+                      n_orders=20):
+    """A navigation-only mediator over a faulty scaled orders table."""
+    stats = Instrument()
+    db = Database("faulty", stats=stats)
+    db.run("CREATE TABLE customer (id TEXT, name TEXT, addr TEXT,"
+           " PRIMARY KEY (id))")
+    db.run("CREATE TABLE orders (orid INT, cid TEXT, value INT,"
+           " PRIMARY KEY (orid))")
+    db.run("INSERT INTO customer VALUES ('XYZ', 'XYZInc.', 'LA')")
+    for i in range(n_orders):
+        db.run("INSERT INTO orders VALUES ({}, 'XYZ', {})".format(
+            i, 100 * (i + 1)))
+    wrapper = (
+        RelationalWrapper(db)
+        .register_document("root1", "customer")
+        .register_document("root2", "orders", element_label="order")
+    )
+    faulty = FaultInjectingSource(
+        wrapper, clock=ManualClock(), seed=0, obs=stats
+    )
+    for position in positions:
+        faulty.fail_pull("root2", position, kind="permanent")
+    mediator = Mediator(
+        stats=stats, push_sql=False, block_size=block_size,
+        on_source_error=on_error, cache=False,
+    )
+    return stats, mediator.add_source(faulty)
+
+
+class TestMidBlockFaults:
+    def test_block_mode_raises_at_the_same_answer_prefix(self):
+        """A permanent fault mid-block: every block size delivers the
+        same set of answers before the failure surfaces."""
+        survivors = {}
+        for size in (1, 7, 64):
+            __, mediator = injected_mediator(size, positions=[11])
+            root = mediator.query(ORDERS)
+            seen = []
+            with pytest.raises(MixError):
+                node = root.d()
+                while node is not None:
+                    seen.append(str(node.fl()))
+                    node = node.r()
+            survivors[size] = seen
+        # Tuple mode walks 11 orders before the fault; block mode may
+        # *discover* the fault earlier (prefetch forces ahead) but must
+        # never deliver fewer answers than it materialized, and the
+        # failure must keep surfacing on re-demand.
+        assert survivors[1] == ["order"] * 11
+        assert survivors[7] == survivors[1]
+        assert survivors[64] == survivors[1]
+
+    def test_degrade_mode_is_byte_identical_across_block_sizes(self):
+        """With degradation on, a mid-block fault becomes a stub in the
+        same position at every block size (single-scan plans pull in
+        scan order regardless of batching)."""
+        reference = None
+        for size in (1, 2, 7, 64):
+            __, mediator = injected_mediator(
+                size, positions=[5, 13], on_error="degrade"
+            )
+            answer = serialize(mediator.query(ORDERS).to_tree())
+            assert "mix:error" in answer
+            if reference is None:
+                reference = answer
+            else:
+                assert answer == reference, (
+                    "degraded answers diverged at block_size={}"
+                    .format(size)
+                )

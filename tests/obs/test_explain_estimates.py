@@ -18,14 +18,16 @@ from repro import Mediator
 
 
 def test_no_optimizer_explain_is_byte_identical_to_golden():
-    mediator = Mediator(cost_optimizer=False).add_source(
+    # block_size=1: the goldens are tuple-mode output (block mode adds
+    # a "-- block:" footer line).
+    mediator = Mediator(cost_optimizer=False, block_size=1).add_source(
         make_paper_wrapper()
     )
     assert mediator.explain(Q1, mask_times=True) == GOLDEN_Q1_EXPLAIN
 
 
 def test_unanalyzed_mediator_shows_no_estimates():
-    mediator = Mediator().add_source(make_paper_wrapper())
+    mediator = Mediator(block_size=1).add_source(make_paper_wrapper())
     text = mediator.explain(Q1, mask_times=True)
     assert text == GOLDEN_Q1_EXPLAIN
     assert "est=" not in text

@@ -41,7 +41,9 @@ tuples_shipped=0 tuples_from_cache=4"""
 def fresh_mediator():
     # A fresh mediator pins the view counter (view1) and the
     # translator's variable/skolem numbering, making output exact.
-    return Mediator().add_source(make_paper_wrapper())
+    # block_size=1 is the seed's tuple-at-a-time mode the goldens were
+    # captured in (block mode adds a "-- block:" footer line).
+    return Mediator(block_size=1).add_source(make_paper_wrapper())
 
 
 def test_explain_analyze_matches_golden():
@@ -86,7 +88,9 @@ def test_warm_explain_matches_golden_footer():
     """Second EXPLAIN of the same query on a caching mediator: the plan
     comes from the plan cache and every row from the SQL result cache —
     zero tuples cross the source boundary."""
-    mediator = Mediator(cache=True).add_source(make_paper_wrapper())
+    mediator = Mediator(cache=True, block_size=1).add_source(
+        make_paper_wrapper()
+    )
     cold = mediator.explain(Q1, mask_times=True)
     assert "-- plan_cache: miss" in cold
     assert "tuples_shipped=4" in cold

@@ -136,8 +136,12 @@ class TestLazinessThroughQdom:
     def test_browsing_prefix_ships_prefix(self, paper_stats):
         from tests.conftest import make_scaled_wrapper
 
+        # Tuple mode: this asserts the seed's minimal-shipping bound;
+        # block mode deliberately prefetches past the browsed prefix.
         wrapper = make_scaled_wrapper(300, 4, stats=paper_stats)
-        mediator = Mediator(stats=paper_stats).add_source(wrapper)
+        mediator = Mediator(stats=paper_stats, block_size=1).add_source(
+            wrapper
+        )
         root = mediator.query(Q1)
         node = root.d()
         node = node.r()

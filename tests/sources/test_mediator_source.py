@@ -64,14 +64,16 @@ class TestFederatedQuerying:
         assert recs[0].find("customer").find("id").d().fv() == "DEF"
 
     def test_federated_navigation_is_lazy(self):
+        # Tuple mode on both levels: the bound below is the seed's
+        # minimal-shipping invariant; block mode trades it for batching.
         stats = StatsRegistry()
-        lower = Mediator(stats=stats).add_source(
+        lower = Mediator(stats=stats, block_size=1).add_source(
             make_scaled_wrapper(200, 2, stats=stats)
         )
         federated = MediatorSource(lower, stats=stats).register_view(
             "v", Q1
         )
-        upper = Mediator(stats=stats).add_source(federated)
+        upper = Mediator(stats=stats, block_size=1).add_source(federated)
         root = upper.query(
             "FOR $R IN document(v)/CustRec RETURN $R"
         )
