@@ -57,6 +57,14 @@ Block-at-a-time execution (:mod:`repro.engine.block`) is on by default;
 ``--block-size=N`` tunes the vector width for ``demo``, ``explain``,
 ``serve``, and ``bench-serve`` — ``--block-size=1`` restores the seed's
 tuple-at-a-time pipeline (and its byte-identical EXPLAIN output).
+
+``demo`` and ``explain`` also accept ``--shards=K``, which replaces the
+single Fig. 2 wrapper by a :class:`~repro.sources.shard.ShardedSource`
+over K members — ``orders`` hash-partitioned on ``cid``, ``customer``
+replicated — so pushed SQL scatters to all live members in parallel and
+``explain`` grows a ``-- shard:`` footer.  ``--shards`` cannot be
+combined with ``--fault-profile`` (the profiles script a single
+source's pull schedule).
 """
 
 from __future__ import annotations
@@ -82,10 +90,23 @@ def _paper_database(stats=None):
 
 
 def _paper_mediator(fault_profile=None, fault_seed=0, cache=True,
-                    cache_size=128, cost_optimizer=True, block_size=None):
+                    cache_size=128, cost_optimizer=True, block_size=None,
+                    shards=None):
     from repro import Instrument, Mediator, RelationalWrapper
 
+    if shards is not None and fault_profile is not None:
+        raise SystemExit(
+            "--shards cannot be combined with --fault-profile: the fault "
+            "profiles script a single source's pull schedule (wrap shard "
+            "members with repro.resilience.shard_resilience instead)"
+        )
     stats = Instrument()
+    if shards is not None:
+        wrapper = _sharded_paper_source(shards, stats)
+        mediator = Mediator(stats=stats, cache=cache, cache_size=cache_size,
+                            cost_optimizer=cost_optimizer,
+                            block_size=block_size)
+        return stats, mediator.add_source(wrapper)
     db = _paper_database(stats)
     wrapper = (
         RelationalWrapper(db)
@@ -113,6 +134,58 @@ def _paper_mediator(fault_profile=None, fault_seed=0, cache=True,
         block_size=1 if block_size is None else block_size,
     )
     return stats, mediator.add_source(source)
+
+
+_PAPER_CUSTOMERS = (
+    ("XYZ", "XYZInc.", "LosAngeles"),
+    ("DEF", "DEFCorp.", "NewYork"),
+    ("ABC", "ABCInc.", "SanDiego"),
+)
+
+_PAPER_ORDERS = (
+    (28904, "XYZ", 2400),
+    (87456, "ABC", 200000),
+    (111, "XYZ", 100),
+    (222, "DEF", 30000),
+)
+
+
+def _sharded_paper_source(shards, stats):
+    """The Fig. 2 database as ``shards`` hash-partitioned members.
+
+    ``orders`` is hash-partitioned on ``cid`` (each customer's orders
+    land together, so the pushed Q1 join stays member-local);
+    ``customer`` replicates to every member.
+    """
+    from repro import Database, RelationalWrapper
+    from repro.sources import Partition, ShardedSource, hash_shard
+
+    members = []
+    for index in range(shards):
+        db = Database("paper{}".format(index), stats=stats)
+        db.run("CREATE TABLE customer (id TEXT, name TEXT, addr TEXT,"
+               " PRIMARY KEY (id))")
+        db.run("CREATE TABLE orders (orid INT, cid TEXT, value INT,"
+               " PRIMARY KEY (orid))")
+        for cid, name, addr in _PAPER_CUSTOMERS:
+            db.run("INSERT INTO customer VALUES ('{}', '{}', '{}')".format(
+                cid, name, addr))
+        for orid, cid, value in _PAPER_ORDERS:
+            if hash_shard(cid, shards) == index:
+                db.run("INSERT INTO orders VALUES ({}, '{}', {})".format(
+                    orid, cid, value))
+        members.append(
+            RelationalWrapper(db, server_name="paper{}".format(index))
+            .register_document("root1", "customer")
+            .register_document("root2", "orders", element_label="order")
+        )
+    return ShardedSource(
+        members,
+        Partition("orders", "cid", "hash"),
+        replicated=("customer",),
+        server_name="paper",
+        obs=stats,
+    )
 
 
 def _faulty_source(wrapper, profile, seed, stats):
@@ -214,6 +287,21 @@ def _block_options(args):
     return size, args
 
 
+def _shard_options(args):
+    """Extract ``--shards=K`` (default: the single unsharded source)."""
+    shards, args = _pop_option(args, "--shards")
+    if shards is None:
+        return None, args
+    try:
+        shards = int(shards)
+    except ValueError:
+        raise SystemExit("--shards expects an integer, got {!r}".format(
+            shards))
+    if shards < 1:
+        raise SystemExit("--shards must be >= 1, got {}".format(shards))
+    return shards, args
+
+
 def _cache_options(args):
     """Extract ``--no-cache`` / ``--cache-size=N`` (CLI default: on)."""
     cache = "--no-cache" not in args
@@ -243,10 +331,11 @@ def cmd_demo(args=()):
     cache, cache_size, args = _cache_options(args)
     cost, args = _optimizer_options(args)
     block_size, args = _block_options(args)
+    shards, args = _shard_options(args)
     stats, mediator = _paper_mediator(
         fault_profile=profile, fault_seed=seed,
         cache=cache, cache_size=cache_size, cost_optimizer=cost,
-        block_size=block_size,
+        block_size=block_size, shards=shards,
     )
     if profile is not None:
         # The scripted Example 2.1 walk assumes every step lands on a
@@ -361,6 +450,7 @@ def cmd_explain(args=()):
     cache, cache_size, args = _cache_options(args)
     cost, args = _optimizer_options(args)
     block_size, args = _block_options(args)
+    shards, args = _shard_options(args)
     query = Q1
     if args:
         try:
@@ -373,7 +463,7 @@ def cmd_explain(args=()):
     __, mediator = _paper_mediator(
         fault_profile=profile, fault_seed=seed,
         cache=cache, cache_size=cache_size, cost_optimizer=cost,
-        block_size=block_size,
+        block_size=block_size, shards=shards,
     )
     if analyze_first:
         analyzed = mediator.analyze_sources()
@@ -687,7 +777,7 @@ def main(argv=None):
               "|serve|bench-serve}"
               " [--fault-profile=" + "|".join(FAULT_PROFILES) +
               "] [--fault-seed=N] [--no-cache] [--cache-size=N]"
-              " [--no-optimizer] [--block-size=N] [--analyze]"
+              " [--no-optimizer] [--block-size=N] [--shards=K] [--analyze]"
               " [--json] [--strict]"
               " [--host=H] [--port=N] [--clients=N] [--bench-json[=DIR]]")
         return 2

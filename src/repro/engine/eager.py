@@ -184,7 +184,21 @@ class EagerEngine:
                 )
             )
         out = BindingSet()
-        for row in cursor:
+        while True:
+            try:
+                row = cursor.fetchone()
+            except SourceError as exc:
+                # Mid-stream failure (a dead shard member, say): stub
+                # the lost slice and keep fetching the survivors.
+                if self.on_source_error != DEGRADE:
+                    raise
+                stub = self._degraded_stub(exc, source=plan.server)
+                out.append(
+                    BindingTuple({e.var: stub for e in plan.varmap})
+                )
+                continue
+            if row is None:
+                break
             bindings = {}
             for entry in plan.varmap:
                 value = _assemble_rq_element(entry, row, self.oids)

@@ -395,7 +395,24 @@ class LazyEngine:
             )
             return
 
-        for row in cursor:
+        while True:
+            try:
+                row = cursor.fetchone()
+            except SourceError as exc:
+                # Mid-stream failure (e.g. one member of a sharded
+                # scatter died): one stub row marks the lost slice and
+                # the cursor keeps serving the surviving members.  A
+                # dead single-source cursor simply reads exhausted on
+                # the next fetch.
+                if self.on_source_error != DEGRADE:
+                    raise
+                stub = self._degraded_stub(exc, source=plan.server)
+                yield BindingTuple(
+                    {entry.var: stub for entry in plan.varmap}
+                )
+                continue
+            if row is None:
+                return
             bindings = {}
             for entry in plan.varmap:
                 value = _assemble_rq_element(entry, row, self.oids)
@@ -601,7 +618,19 @@ class LazyEngine:
             fetch = cursor.fetchmany
         varmap = plan.varmap
         while True:
-            rows = fetch(size)
+            try:
+                rows = fetch(size)
+            except SourceError as exc:
+                # A parked mid-batch failure (shard death included):
+                # degrade to one stub vector and keep draining the
+                # surviving streams.
+                if self.on_source_error != DEGRADE:
+                    raise
+                stub = self._degraded_stub(exc, source=plan.server)
+                yield [BindingTuple(
+                    {entry.var: stub for entry in varmap}
+                )]
+                continue
             if not rows:
                 return
             self.obs.incr(statnames.BLOCKS_SHIPPED)

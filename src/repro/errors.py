@@ -173,6 +173,27 @@ class SourceTimeoutError(TransientSourceError):
         self.elapsed = elapsed
 
 
+class ShardError(SourceError):
+    """One member of a sharded table failed during scatter-gather.
+
+    Raised by the merge cursor at the stream position where the failed
+    member's rows would have appeared; the surviving members keep
+    streaming, so an engine that degrades substitutes a single
+    ``<mix:error>`` stub for the lost shard and the answer stays
+    partial instead of dead.
+
+    Attributes:
+        shard: printable name of the failing member.
+        index: the member's position in the shard list.
+    """
+
+    def __init__(self, message, doc_id=None, sql=None, source=None,
+                 shard=None, index=None):
+        super().__init__(message, doc_id=doc_id, sql=sql, source=source)
+        self.shard = shard
+        self.index = index
+
+
 class CircuitOpenError(SourceError):
     """A request was rejected without reaching the source because its
     circuit breaker is open (the source failed too often recently).

@@ -99,6 +99,7 @@ def explain_analyze_with_trace(mediator, query_text, mask_times=False):
     policy = getattr(mediator, "on_source_error", "raise")
     before = _resilience_snapshot(mediator.catalog)
     cache_before = _cache_snapshot(mediator.catalog)
+    shard_before = _shard_snapshot(mediator.catalog)
     block_size = getattr(mediator, "block_size", 1)
     with instrument.command_span(
         "explain", kind="explain", query=_clip(query_text)
@@ -128,6 +129,9 @@ def explain_analyze_with_trace(mediator, query_text, mask_times=False):
         cache_deltas = _cache_deltas(
             cache_before, _cache_snapshot(mediator.catalog)
         )
+        shard_deltas = _shard_deltas(
+            shard_before, _shard_snapshot(mediator.catalog)
+        )
         instrument.event("cache", "plan_cache={}".format(plan_status))
         if verify_report is not None:
             # Inside the command span: `explain --json` traces carry the
@@ -142,6 +146,15 @@ def explain_analyze_with_trace(mediator, query_text, mask_times=False):
                 "invalidations={invalidations} "
                 "tuples_shipped={tuples_shipped} "
                 "tuples_from_cache={tuples_from_cache}".format(**entry),
+                source=entry["source"],
+            )
+        for entry in shard_deltas:
+            # Inside the command span: the JSON trace export carries the
+            # per-fleet scatter summary alongside the spans.
+            instrument.event(
+                "shard",
+                "shards={shards} scattered={scattered} pruned={pruned} "
+                "failed={failed}".format(**entry),
                 source=entry["source"],
             )
         for entry in resilience:
@@ -186,6 +199,11 @@ def explain_analyze_with_trace(mediator, query_text, mask_times=False):
             "evictions={evictions} invalidations={invalidations} "
             "tuples_shipped={tuples_shipped} "
             "tuples_from_cache={tuples_from_cache}".format(**entry)
+        )
+    for entry in shard_deltas:
+        footer += (
+            "\n-- shard[{source}]: shards={shards} scattered={scattered} "
+            "pruned={pruned} failed={failed}".format(**entry)
         )
     for entry in resilience:
         footer += (
@@ -255,6 +273,36 @@ def _cache_deltas(before, after):
     return deltas
 
 
+_SHARD_COUNTERS = ("scattered", "pruned", "failed")
+
+
+def _shard_snapshot(catalog):
+    """Current scatter health of every sharded source in the catalog."""
+    sources_fn = getattr(catalog, "sources", None)
+    if sources_fn is None:
+        return {}
+    out = {}
+    for source in sources_fn():
+        health_fn = getattr(source, "shard_health", None)
+        if callable(health_fn):
+            health = health_fn()
+            if health is not None:
+                out[health["source"]] = health
+    return out
+
+
+def _shard_deltas(before, after):
+    """What each sharded source's scatter-gather did in one evaluation."""
+    deltas = []
+    for name in after:
+        pre = before.get(name, {})
+        entry = {"source": name, "shards": after[name]["shards"]}
+        for counter in _SHARD_COUNTERS:
+            entry[counter] = after[name][counter] - pre.get(counter, 0)
+        deltas.append(entry)
+    return deltas
+
+
 def _resilience_snapshot(catalog):
     """Current health of every resilient source the catalog knows."""
     sources_fn = getattr(catalog, "sources", None)
@@ -265,7 +313,8 @@ def _resilience_snapshot(catalog):
         health_fn = getattr(source, "resilience_health", None)
         if callable(health_fn):
             health = health_fn()
-            out[health["source"]] = health
+            if health is not None:
+                out[health["source"]] = health
     return out
 
 

@@ -1,0 +1,163 @@
+"""Shard pruning and statistics merging for sharded tables.
+
+A :class:`~repro.sources.shard.ShardedSource` scatters pushed SQL to its
+members — unless a member's ``ANALYZE`` statistics *prove* the statement
+returns nothing there.  The proof obligations are deliberately narrow
+and sound:
+
+* a referenced table with a fresh ``row_count == 0`` on the member
+  (inner joins over an empty input are empty);
+* a conjunct ``col op literal`` whose literal falls wholly outside the
+  member's fresh ``[min, max]`` for that column (NULL rows never pass a
+  comparison, so only the non-NULL range matters).
+
+Everything uses :func:`repro.relational.executor.compare`, the engine's
+own comparison semantics: NULL operands and cross-type orderings compare
+``False``, which makes every uncertain rule *not fire* — a shard is only
+skipped when the executor itself could never produce a row from it.
+
+Stale or missing statistics contribute nothing (the shard is scattered
+to), mirroring the estimator's rule that stale statistics are never
+silently used.
+"""
+
+from __future__ import annotations
+
+from repro.optimizer.statistics import ColumnStatistics, TableStatistics
+from repro.relational import ast
+
+
+def shard_prunable(stmt, stats_for_table):
+    """``True`` when ``stmt`` provably returns no rows on a shard.
+
+    Args:
+        stmt: a parsed :class:`~repro.relational.ast.SelectStmt`.
+        stats_for_table: table name -> fresh
+            :class:`~repro.optimizer.statistics.TableStatistics` for the
+            member, or ``None`` where unknown/stale.
+    """
+    alias_to_table = {ref.alias: ref.table for ref in stmt.tables}
+    for ref in stmt.tables:
+        stats = stats_for_table.get(ref.table)
+        if stats is not None and stats.row_count == 0:
+            return True
+    for pred in stmt.predicates:
+        normalized = _normalize(pred)
+        if normalized is None:
+            continue
+        colref, op, value = normalized
+        stats = _column_stats(colref, alias_to_table, stats_for_table)
+        if stats is None:
+            continue
+        if _conjunct_empty(stats, op, value):
+            return True
+    return False
+
+
+def _normalize(pred):
+    """``(ColRef, op, literal value)`` with the column on the left, or
+    ``None`` for shapes pruning does not reason about."""
+    left, op, right = pred.left, pred.op, pred.right
+    if isinstance(left, ast.Literal) and isinstance(right, ast.ColRef):
+        left, right = right, left
+        op = _FLIP.get(op, op)
+    if not (isinstance(left, ast.ColRef) and isinstance(right, ast.Literal)):
+        return None
+    return left, op, right.value
+
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _column_stats(colref, alias_to_table, stats_for_table):
+    """The member's :class:`ColumnStatistics` a conjunct refers to."""
+    if colref.qualifier is not None:
+        table = alias_to_table.get(colref.qualifier)
+        if table is None:
+            return None
+        stats = stats_for_table.get(table)
+        return stats.column(colref.column) if stats is not None else None
+    # Unqualified: usable only when exactly one referenced table has the
+    # column (otherwise the reference is ambiguous to us — don't prune).
+    matches = []
+    for table in set(alias_to_table.values()):
+        stats = stats_for_table.get(table)
+        if stats is not None and stats.column(colref.column) is not None:
+            matches.append(stats.column(colref.column))
+    return matches[0] if len(matches) == 1 else None
+
+
+def _conjunct_empty(column_stats, op, value):
+    """Whether ``col op value`` fails for *every* row on the member."""
+    from repro.relational.executor import compare
+
+    lo, hi = column_stats.min, column_stats.max
+    if lo is None and hi is None:
+        # Every row is NULL in this column; NULL passes no comparison.
+        return True
+    if op == "=":
+        return compare(value, "<", lo) or compare(value, ">", hi)
+    if op == "!=":
+        # Only a single-valued column can make != universally false.
+        return compare(lo, "=", hi) and compare(lo, "=", value)
+    if op == "<":
+        return compare(lo, ">=", value)
+    if op == "<=":
+        return compare(lo, ">", value)
+    if op == ">":
+        return compare(hi, "<=", value)
+    if op == ">=":
+        return compare(hi, "<", value)
+    return False
+
+
+def merge_table_statistics(stats_list):
+    """Combine per-shard statistics into one logical-table view.
+
+    Returns ``None`` unless *every* member contributed fresh statistics
+    (a partial merge would under-count rows and mislead the optimizer).
+    Row counts add; ranges take the widest span; NDV takes the per-shard
+    maximum (a lower bound — shards may hold overlapping value sets);
+    null fractions are row-weighted.  Histograms do not merge across
+    differently-bucketed ranges and are dropped.
+    """
+    stats_list = list(stats_list)
+    if not stats_list or any(s is None for s in stats_list):
+        return None
+    first = stats_list[0]
+    total_rows = sum(s.row_count for s in stats_list)
+    merged = {}
+    for name in first.columns:
+        per_shard = [s.column(name) for s in stats_list]
+        if any(c is None for c in per_shard):
+            continue
+        merged[name] = _merge_column(name, per_shard, stats_list)
+    return TableStatistics(
+        first.table,
+        total_rows,
+        merged,
+        version=tuple(s.version for s in stats_list),
+        epoch=tuple(s.epoch for s in stats_list),
+    )
+
+
+def _merge_column(name, per_shard, stats_list):
+    mins = [c.min for c in per_shard if c.min is not None]
+    maxes = [c.max for c in per_shard if c.max is not None]
+    total = sum(s.row_count for s in stats_list)
+    if total:
+        nulls = sum(
+            c.null_fraction * s.row_count
+            for c, s in zip(per_shard, stats_list)
+        )
+        null_fraction = nulls / total
+    else:
+        null_fraction = 0.0
+    return ColumnStatistics(
+        name,
+        max(c.ndv for c in per_shard),
+        min(mins) if mins else None,
+        max(maxes) if maxes else None,
+        null_fraction,
+        histogram=None,
+    )

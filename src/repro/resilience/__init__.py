@@ -28,7 +28,12 @@ from repro.resilience.policy import (
     RetryPolicy,
     Timeout,
 )
-from repro.resilience.resilient import DEGRADE, RAISE, ResilientSource
+from repro.resilience.resilient import (
+    DEGRADE,
+    RAISE,
+    ResilientSource,
+    shard_resilience,
+)
 from repro.resilience.stub import (
     ERROR_LABEL,
     find_error_stubs,
@@ -57,6 +62,7 @@ __all__ = [
     "is_error_stub",
     "make_error_stub",
     "prefix_has_error_stub",
+    "shard_resilience",
     "strip_error_stubs",
     "stub_for_error",
 ]

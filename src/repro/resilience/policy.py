@@ -86,6 +86,19 @@ class RetryPolicy:
                 if on_retry is not None:
                     on_retry(attempt + 1, exc, delay)
 
+    def clone(self):
+        """An independent policy with the same schedule (stateless, so
+        this is configuration copying — provided for symmetry with
+        :meth:`CircuitBreaker.clone` in per-shard composition)."""
+        return RetryPolicy(
+            attempts=self.attempts,
+            base_delay=self.base_delay,
+            multiplier=self.multiplier,
+            max_delay=self.max_delay,
+            retry_on=self.retry_on,
+            sleep=self._sleep,
+        )
+
     def __repr__(self):
         return "RetryPolicy(attempts={}, base={}, x{}, cap={})".format(
             self.attempts, self.base_delay, self.multiplier, self.max_delay
@@ -133,6 +146,10 @@ class Timeout:
         self.check(elapsed, doc_id=doc_id, source=source)
         return result
 
+    def clone(self):
+        """An independent budget with the same limit and clock."""
+        return Timeout(self.limit, clock=self.clock)
+
     def __repr__(self):
         return "Timeout({}s)".format(self.limit)
 
@@ -173,6 +190,12 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._opened_at = None
         self.transitions = []  # list of (from_state, to_state)
+        #: The ResilientSource this breaker is attached to, if any.  A
+        #: breaker counts *one* source's consecutive failures; attaching
+        #: it to a second source would let that source's faults open the
+        #: circuit for the first (and vice versa), so ResilientSource
+        #: refuses shared breakers — see :meth:`clone`.
+        self._owner = None
 
     @property
     def state(self):
@@ -223,6 +246,24 @@ class CircuitBreaker:
         if (self._state == CLOSED
                 and self._consecutive_failures >= self.failure_threshold):
             self._transition(OPEN)
+
+    def clone(self, name=None):
+        """A fresh, unattached breaker with this breaker's configuration.
+
+        State (failure counts, open/half-open, transition history) and
+        the ``on_transition`` hook are *not* carried over: the clone
+        belongs to a different source, and the hook is rebound when a
+        :class:`~repro.resilience.ResilientSource` attaches it.  This is
+        how per-shard composition hands every member its own circuit —
+        one flapping shard can then never open the breaker for its
+        siblings.
+        """
+        return CircuitBreaker(
+            failure_threshold=self.failure_threshold,
+            cooldown=self.cooldown,
+            clock=self.clock,
+            name=name,
+        )
 
     def __repr__(self):
         return "CircuitBreaker({}, state={}, failures={})".format(

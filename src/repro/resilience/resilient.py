@@ -103,6 +103,17 @@ class ResilientSource(Source):
             "circuit_rejections": 0,
         }
         if breaker is not None:
+            owner = getattr(breaker, "_owner", None)
+            if owner is not None and owner is not self:
+                raise ValueError(
+                    "CircuitBreaker {!r} is already attached to source "
+                    "{!r}: a breaker counts one source's consecutive "
+                    "failures, and sharing it would let a flapping "
+                    "source open the circuit for its siblings — use "
+                    "breaker.clone() to give each source its own "
+                    "instance".format(breaker.name, owner.name)
+                )
+            breaker._owner = self
             if breaker.name is None:
                 breaker.name = self.name
             breaker.on_transition = self._chain_transition(
@@ -275,6 +286,47 @@ class ResilientSource(Source):
         return "ResilientSource({!r}, retry={}, breaker={}, on_error={})".format(
             self.name, self.retry, self.breaker, self.on_error
         )
+
+
+def shard_resilience(members, retry=None, breaker=None, timeout=None,
+                     on_error=DEGRADE, obs=None, name=None):
+    """Wrap each shard member in its own :class:`ResilientSource`.
+
+    ``retry``/``breaker``/``timeout`` act as *templates*: every member
+    receives an independent :meth:`clone` — most importantly its own
+    :class:`~repro.resilience.policy.CircuitBreaker`, so one flapping
+    member trips only its own circuit while its siblings keep serving
+    (``ResilientSource`` enforces this by rejecting an already-attached
+    breaker outright).
+
+    Members are named ``<name>[<index>]`` (``name`` defaults to each
+    member's own server name), which is how their failures read in
+    stubs, health reports, and the EXPLAIN resilience footer.
+
+    Returns the wrapped member list, ready to hand to
+    :class:`~repro.sources.shard.ShardedSource`.
+    """
+    wrapped = []
+    for index, member in enumerate(members):
+        base = name or (
+            getattr(member, "server_name", None) or type(member).__name__
+        )
+        member_name = "{}[{}]".format(base, index)
+        wrapped.append(
+            ResilientSource(
+                member,
+                retry=retry.clone() if retry is not None else None,
+                breaker=(
+                    breaker.clone(name=member_name)
+                    if breaker is not None else None
+                ),
+                timeout=timeout.clone() if timeout is not None else None,
+                on_error=on_error,
+                obs=obs,
+                name=member_name,
+            )
+        )
+    return wrapped
 
 
 class _ResilientIterator:

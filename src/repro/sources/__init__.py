@@ -13,6 +13,15 @@ XML view of itself.  Three wrappers are provided:
 * :class:`~repro.sources.mediator_source.MediatorSource` — another MIX
   mediator acting as a source, whose QDOM navigation is passed through.
 
+Two federation-oriented wrappers extend the set:
+
+* :class:`~repro.sources.sqlite.SqliteWrapper` — the same relational
+  protocol over a stdlib ``sqlite3`` database;
+* :class:`~repro.sources.shard.ShardedSource` — one logical table
+  horizontally partitioned across k member wrappers, scattered to in
+  parallel and gathered through a block-aware merge (see
+  :mod:`repro.sources.shard`).
+
 The :class:`~repro.sources.catalog.SourceCatalog` maps document ids
 (``root1``) and server names to wrappers and is what the engines consult.
 """
@@ -21,12 +30,18 @@ from repro.sources.base import Source
 from repro.sources.catalog import SourceCatalog
 from repro.sources.mediator_source import MediatorSource
 from repro.sources.relational import RelationalWrapper
+from repro.sources.shard import Partition, ShardedSource, hash_shard
+from repro.sources.sqlite import SqliteWrapper
 from repro.sources.xmlfile import XmlFileSource
 
 __all__ = [
     "MediatorSource",
+    "Partition",
     "RelationalWrapper",
+    "ShardedSource",
     "Source",
     "SourceCatalog",
+    "SqliteWrapper",
     "XmlFileSource",
+    "hash_shard",
 ]

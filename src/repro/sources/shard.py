@@ -1,0 +1,632 @@
+"""Sharded tables: one logical table, k member wrappers, parallel
+scatter-gather at the rQ boundary.
+
+A :class:`ShardedSource` fronts k relational wrappers that each hold a
+horizontal slice of one *partitioned* table (hash- or range-split on a
+declared key, see :class:`Partition`) plus identical copies of any
+*replicated* tables.  Behind the existing catalog protocol it looks
+like a single relational source — the translator, rewriter, and
+optimizer never learn the table is sharded:
+
+* **scatter** — a pushed SELECT that references the partitioned table
+  is sent to every member whose per-shard ``ANALYZE`` statistics cannot
+  rule it out (:mod:`repro.optimizer.shardstats`); member statements
+  run concurrently on a bounded ``concurrent.futures`` pool, each
+  member stream prefetched block-at-a-time;
+* **gather** — a :class:`~repro.relational.cursor.ShardMergeCursor`
+  merges the member streams back into one cursor: member order for
+  range partitioning (preserving the partition-key order), arrival
+  order for hash partitioning, and an exact k-way merge whenever the
+  statement carries an ``ORDER BY``;
+* **degrade** — wrap the members with
+  :func:`repro.resilience.shard_resilience` (each gets its *own*
+  breaker) and a dead member costs one ``<mix:error>`` stub plus the
+  surviving members' rows, never the whole query.
+
+Replicated-only statements route to the first member; navigation over
+the partitioned document concatenates the members' child streams in
+member order.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+
+from repro import stats as statnames
+from repro.errors import ShardError, SourceError
+from repro.relational import ast
+from repro.relational.cursor import (
+    ARRIVAL,
+    MERGE,
+    ORDERED,
+    Cursor,
+    ShardMergeCursor,
+    ShardStream,
+)
+from repro.relational.parser import parse_sql
+from repro.sources.base import Source
+from repro.xmltree.tree import Node
+
+#: Partitioning schemes.
+HASH = "hash"
+RANGE = "range"
+
+
+def hash_shard(value, n_shards):
+    """The member index a key value hashes to.
+
+    Uses ``crc32`` over the value's text, *not* Python's builtin
+    ``hash`` — the builtin is salted per process, and shard placement
+    must be stable across runs (and across the processes of a
+    scatter-gather federation).
+    """
+    return zlib.crc32(str(value).encode("utf-8")) % int(n_shards)
+
+
+class Partition:
+    """Declares how the logical table is split across the members.
+
+    Args:
+        table: the partitioned table's name.
+        key: the partition-key column.
+        scheme: ``"hash"`` (rows placed by :func:`hash_shard` of the
+            key) or ``"range"`` (members hold contiguous, ascending key
+            ranges in member order — which is what lets the gather
+            preserve key order by simple concatenation).
+    """
+
+    def __init__(self, table, key, scheme=HASH):
+        if scheme not in (HASH, RANGE):
+            raise ValueError(
+                "partition scheme must be 'hash' or 'range', "
+                "got {!r}".format(scheme)
+            )
+        self.table = table
+        self.key = key
+        self.scheme = scheme
+
+    def __repr__(self):
+        return "Partition({}, key={}, {})".format(
+            self.table, self.key, self.scheme
+        )
+
+
+class ShardedSource(Source):
+    """One logical relational source backed by k shard members.
+
+    Args:
+        members: the member wrappers, in shard order (for range
+            partitioning the order *is* the key order).  Any wrapper
+            speaking the relational protocol works — including members
+            individually wrapped in
+            :class:`~repro.resilience.ResilientSource`.
+        partition: the :class:`Partition` declaration.
+        replicated: names of tables present identically on every
+            member (the small dimension tables a pushed join may
+            reference).
+        server_name: the catalog server name of the logical source.
+        obs: instrument receiving ``shards_scattered`` /
+            ``shards_pruned`` / ``shards_failed``.
+        max_workers: cap on the scatter pool (default: one per member).
+        gather: force a gather mode for keyless statements
+            (``"arrival"``/``"ordered"``; an ``ORDER BY`` always wins
+            and uses the exact merge).
+        prefetch_depth: blocks each member stream keeps buffered ahead
+            of the merge.
+    """
+
+    def __init__(self, members, partition, replicated=(),
+                 server_name="shards", obs=None, max_workers=None,
+                 gather=None, prefetch_depth=4):
+        members = list(members)
+        if not members:
+            raise ValueError("a ShardedSource needs at least one member")
+        if gather not in (None, ARRIVAL, ORDERED):
+            raise ValueError(
+                "gather must be 'arrival' or 'ordered', got {!r}".format(
+                    gather
+                )
+            )
+        self.members = members
+        self.partition = partition
+        self.replicated = tuple(replicated)
+        self.server_name = server_name
+        self._obs = obs
+        self._gather = gather
+        self._depth = max(1, int(prefetch_depth))
+        self._block_size = 64
+        self._max_workers = min(
+            len(members), max_workers if max_workers else len(members)
+        )
+        self._pool = None
+        self._pool_lock = threading.Lock()
+        self._health = {"scattered": 0, "pruned": 0, "failed": 0}
+
+    # -- the scatter pool ---------------------------------------------------------
+
+    def _ensure_pool(self):
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="shard-{}".format(self.server_name),
+                )
+            return self._pool
+
+    def close(self):
+        """Shut the scatter pool down (idle shards keep no threads)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    # -- configuration forwarded to every member ----------------------------------
+
+    def set_block_size(self, size):
+        size = int(size)
+        self._block_size = size if size > 1 else 1
+        for member in self.members:
+            fn = getattr(member, "set_block_size", None)
+            if fn is not None:
+                fn(size)
+        return self
+
+    def enable_sql_cache(self, maxsize=128, obs=None):
+        for member in self.members:
+            fn = getattr(member, "enable_sql_cache", None)
+            if fn is not None:
+                fn(maxsize, obs=obs)
+        return self
+
+    def disable_sql_cache(self):
+        for member in self.members:
+            fn = getattr(member, "disable_sql_cache", None)
+            if fn is not None:
+                fn()
+        return self
+
+    def set_cost_optimizer(self, enabled):
+        for member in self.members:
+            fn = getattr(member, "set_cost_optimizer", None)
+            if fn is not None:
+                fn(enabled)
+        return self
+
+    # -- versioning / statistics ---------------------------------------------------
+
+    def data_version(self):
+        """Combined member fingerprint, or ``None`` (unversioned) when
+        any member cannot report one."""
+        versions = []
+        for member in self.members:
+            fn = getattr(member, "data_version", None)
+            version = fn() if callable(fn) else None
+            if version is None:
+                return None
+            versions.append(version)
+        return ("shard", self.server_name, tuple(versions))
+
+    def analyze(self):
+        """``ANALYZE`` every member; returns total tables profiled.
+
+        Per-member statistics are what shard pruning runs on — call
+        this (or ``Mediator.analyze_sources()``) after loading."""
+        return sum(
+            fn() for fn in (
+                getattr(member, "analyze", None) for member in self.members
+            ) if fn is not None
+        )
+
+    def table_statistics(self, table_name):
+        """Merged logical-table statistics (``None`` unless every
+        member has fresh statistics for ``table_name``)."""
+        from repro.optimizer.shardstats import merge_table_statistics
+
+        if table_name in self.replicated:
+            fn = getattr(self.members[0], "table_statistics", None)
+            return fn(table_name) if fn is not None else None
+        return merge_table_statistics(
+            self._member_statistics(member, table_name)
+            for member in self.members
+        )
+
+    @staticmethod
+    def _member_statistics(member, table_name):
+        fn = getattr(member, "table_statistics", None)
+        if fn is None:
+            return None
+        try:
+            return fn(table_name)
+        except SourceError:
+            return None
+
+    def estimate_sql(self, sql):
+        """Sum of member estimates for a scattered statement (first
+        member's for a replicated-only one), or ``None``."""
+        try:
+            stmt = self._parse_select(sql)
+            route = self._route(stmt)
+        except SourceError:
+            return None
+        members = self.members if route == "scatter" else self.members[:1]
+        total = 0
+        for member in members:
+            fn = getattr(member, "estimate_sql", None)
+            estimate = fn(sql) if fn is not None else None
+            if estimate is None:
+                return None
+            total += estimate
+        return total
+
+    # -- catalog surface -----------------------------------------------------------
+
+    def document_ids(self):
+        return self.members[0].document_ids()
+
+    def table_for_document(self, doc_id):
+        return self.members[0].table_for_document(doc_id)
+
+    def label_for_document(self, doc_id):
+        return self.members[0].label_for_document(doc_id)
+
+    def describe_table(self, table_name):
+        return self.members[0].describe_table(table_name)
+
+    def oid_to_key(self, table_name, oid):
+        return self.members[0].oid_to_key(table_name, oid)
+
+    def supports_sql(self):
+        return True
+
+    # -- navigation ----------------------------------------------------------------
+
+    def iter_document_children(self, doc_id):
+        """Children of the document root, across all members.
+
+        The partitioned document concatenates the members' child
+        streams in member order (range partitioning therefore keeps key
+        order); replicated documents read from the first member only —
+        every member holds the same copy, and reading once is what
+        keeps ``tuples_shipped`` identical to the unsharded layout.
+        """
+        table = self.table_for_document(doc_id)
+        if table != self.partition.table:
+            return self.members[0].iter_document_children(doc_id)
+        return _ShardedChildIterator(self, doc_id)
+
+    def materialize_document(self, doc_id):
+        root = Node("&{}".format(doc_id), "list")
+        for child in self.iter_document_children(doc_id):
+            root.append(child)
+        return root
+
+    # -- scatter-gather ------------------------------------------------------------
+
+    def execute_sql(self, sql):
+        stmt = self._parse_select(sql)
+        if self._route(stmt) == "first":
+            return self.members[0].execute_sql(sql)
+        return self._scatter(stmt, sql)
+
+    def _parse_select(self, sql):
+        try:
+            stmt = parse_sql(sql)
+        except Exception as exc:
+            raise SourceError(
+                "sharded source could not parse pushed SQL: {}".format(exc),
+                sql=sql,
+                source=self.server_name,
+            )
+        if not isinstance(stmt, ast.SelectStmt):
+            raise SourceError(
+                "sharded source accepts SELECT statements only",
+                sql=sql,
+                source=self.server_name,
+            )
+        return stmt
+
+    def _route(self, stmt):
+        """``"scatter"`` or ``"first"`` — or raise for unscatterable SQL.
+
+        A statement scatters when it references the partitioned table
+        exactly once and every other table is replicated on all
+        members: each partitioned row lives on exactly one member, so
+        the union of the per-member inner joins is the global answer.
+        """
+        part_refs = [
+            ref for ref in stmt.tables if ref.table == self.partition.table
+        ]
+        others = [
+            ref.table for ref in stmt.tables
+            if ref.table != self.partition.table
+        ]
+        unknown = sorted(
+            set(t for t in others if t not in self.replicated)
+        )
+        if unknown:
+            raise SourceError(
+                "cannot scatter over non-replicated tables {} "
+                "(partitioned: {!r}, replicated: {})".format(
+                    unknown, self.partition.table, list(self.replicated)
+                ),
+                source=self.server_name,
+            )
+        if len(part_refs) > 1:
+            raise SourceError(
+                "self-joins on the partitioned table {!r} are not "
+                "scatterable".format(self.partition.table),
+                source=self.server_name,
+            )
+        return "scatter" if part_refs else "first"
+
+    def _scatter(self, stmt, sql):
+        shard_sql, sort_positions, project_width, names = self._shard_plan(
+            stmt, sql
+        )
+        live, pruned = self._prune(stmt)
+        if self._obs is not None:
+            if pruned:
+                self._obs.incr(statnames.SHARDS_PRUNED, pruned)
+            if live:
+                self._obs.incr(statnames.SHARDS_SCATTERED, len(live))
+        self._health["pruned"] += pruned
+        self._health["scattered"] += len(live)
+        if not live:
+            return Cursor(names, [])
+        if sort_positions:
+            gather = MERGE
+        elif self.partition.scheme == RANGE:
+            gather = ORDERED
+        else:
+            gather = self._gather or ARRIVAL
+        pool = self._ensure_pool()
+        cond = threading.Condition()
+        streams = [
+            ShardStream(
+                index,
+                _member_name(member, index),
+                _opener(member, shard_sql),
+                pool,
+                cond,
+                block_size=self._block_size,
+                depth=self._depth,
+            )
+            for index, member in live
+        ]
+        return ShardMergeCursor(
+            names,
+            streams,
+            gather=gather,
+            sort_positions=sort_positions,
+            project_width=project_width,
+            distinct=stmt.distinct,
+            obs=self._obs,
+            on_failure=self._note_stream_failure,
+        )
+
+    def _note_stream_failure(self, exc):
+        self._health["failed"] += 1
+
+    def _prune(self, stmt):
+        """``(live [(index, member)], pruned count)`` for a statement."""
+        from repro.optimizer.shardstats import shard_prunable
+
+        tables = set(ref.table for ref in stmt.tables)
+        live, pruned = [], 0
+        for index, member in enumerate(self.members):
+            stats = {
+                table: self._member_statistics(member, table)
+                for table in tables
+            }
+            if shard_prunable(stmt, stats):
+                pruned += 1
+            else:
+                live.append((index, member))
+        return live, pruned
+
+    # -- per-shard statement shape ---------------------------------------------------
+
+    def _shard_plan(self, stmt, sql):
+        """``(member SQL, sort positions, projection width, columns)``.
+
+        The member statement is the pushed statement verbatim unless it
+        carries an ``ORDER BY`` over columns the projection does not
+        expose — those are appended as auxiliary select items (each
+        member then ships them, the merge keys on them, and the cursor
+        trims rows back to the true projection width).
+        """
+        names = self._column_names(stmt)
+        if not stmt.order_by:
+            return sql, None, None, names
+        width = len(names)
+        positions, extras = [], []
+        for ref in stmt.order_by:
+            position = self._item_position(stmt, ref)
+            if position is None:
+                position = width + len(extras)
+                extras.append(ast.SelectItem(ref))
+            positions.append(position)
+        if not extras:
+            return sql, positions, None, names
+        widened = ast.SelectStmt(
+            stmt.items + extras,
+            stmt.tables,
+            stmt.predicates,
+            stmt.order_by,
+            stmt.distinct,
+        )
+        return repr(widened), positions, width, names
+
+    def _column_names(self, stmt):
+        names = []
+        for item in stmt.items:
+            if item.is_star:
+                for ref in stmt.tables:
+                    schema = self.describe_table(ref.table)
+                    names.extend(schema.column_names)
+            elif item.alias:
+                names.append(item.alias)
+            else:
+                names.append(item.ref.column)
+        return names
+
+    def _item_position(self, stmt, ref):
+        """Position of an ORDER BY ref in the projection, or ``None``."""
+        position = 0
+        for item in stmt.items:
+            if item.is_star:
+                for table_ref in stmt.tables:
+                    schema = self.describe_table(table_ref.table)
+                    for column in schema.column_names:
+                        if column == ref.column and (
+                            ref.qualifier is None
+                            or ref.qualifier == table_ref.alias
+                        ):
+                            return position
+                        position += 1
+                continue
+            if item.ref == ref or (
+                item.alias is not None
+                and ref.qualifier is None
+                and item.alias == ref.column
+            ):
+                return position
+            position += 1
+        return None
+
+    # -- health --------------------------------------------------------------------
+
+    def shard_health(self):
+        """Cumulative scatter tallies, rendered by ``Mediator.explain``
+        as the ``-- shard:`` footer."""
+        health = {"source": self.server_name, "shards": len(self.members)}
+        health.update(self._health)
+        return health
+
+    def resilience_health(self):
+        """Aggregated member resilience health, or ``None`` when no
+        member is resilient.  Counters sum; the breaker column joins
+        the members' states in member order, so one flapping member is
+        visible without hiding its siblings' health."""
+        reports = []
+        for member in self.members:
+            fn = getattr(member, "resilience_health", None)
+            if fn is None:
+                continue
+            report = fn()
+            if report is not None:
+                reports.append(report)
+        if not reports:
+            return None
+        health = {"source": self.server_name}
+        for key in ("retries", "failures", "timeouts", "degraded",
+                    "circuit_rejections"):
+            health[key] = sum(r.get(key, 0) for r in reports)
+        states = [r.get("breaker") for r in reports]
+        health["breaker"] = (
+            "/".join(str(s) for s in states) if any(states) else None
+        )
+        health["breaker_transitions"] = [
+            transition
+            for r in reports
+            for transition in r.get("breaker_transitions", ())
+        ]
+        return health
+
+    def __repr__(self):
+        return "ShardedSource({}, {} members, {!r})".format(
+            self.server_name, len(self.members), self.partition
+        )
+
+
+def _member_name(member, index):
+    inner = getattr(member, "name", None) or getattr(
+        member, "server_name", None
+    ) or type(member).__name__
+    return "{}[{}]".format(inner, index)
+
+
+def _opener(member, shard_sql):
+    def open_cursor():
+        return member.execute_sql(shard_sql)
+
+    return open_cursor
+
+
+class _ShardedChildIterator:
+    """Member-order concatenation of the partitioned document's children.
+
+    ``retry_safe``/``skip`` speak the resilience iterator protocol: a
+    raise consumes nothing (the failed member is remembered), and
+    ``skip()`` abandons the failed member so a degrading engine can
+    stub it and continue with the next member's children.
+    """
+
+    retry_safe = True
+
+    def __init__(self, sharded, doc_id):
+        self._sharded = sharded
+        self._doc = doc_id
+        self._index = 0
+        self._inner = None
+        self._failed = False
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        members = self._sharded.members
+        while True:
+            if self._index >= len(members):
+                raise StopIteration
+            if self._inner is None:
+                try:
+                    self._inner = iter(
+                        members[self._index].iter_document_children(
+                            self._doc
+                        )
+                    )
+                except SourceError as exc:
+                    raise self._member_error(exc)
+            try:
+                return next(self._inner)
+            except StopIteration:
+                self._advance()
+            except SourceError as exc:
+                raise self._member_error(exc)
+
+    def _member_error(self, exc):
+        self._failed = True
+        sharded = self._sharded
+        name = _member_name(sharded.members[self._index], self._index)
+        sharded._health["failed"] += 1
+        if sharded._obs is not None:
+            sharded._obs.incr(statnames.SHARDS_FAILED)
+        if isinstance(exc, ShardError):
+            return exc
+        shard_exc = ShardError(
+            "shard {!r} failed during navigation: {}".format(name, exc),
+            doc_id=self._doc,
+            source=name,
+            shard=name,
+            index=self._index,
+        )
+        shard_exc.__cause__ = exc
+        return shard_exc
+
+    def skip(self):
+        """Abandon the failing member; the next pull continues with the
+        next member's children."""
+        self._advance()
+
+    def _advance(self):
+        self._index += 1
+        self._inner = None
+        self._failed = False
+
+    def __repr__(self):
+        return "_ShardedChildIterator({!r}, member={})".format(
+            self._doc, self._index
+        )

@@ -52,6 +52,13 @@ TABLES_ANALYZED = "tables_analyzed"    # tables profiled by ANALYZE
 BLOCKS_SHIPPED = "blocks_shipped"      # row batches fetched block-at-a-time
 PREFETCH_HITS = "prefetch_hits"        # d/r commands served from a prefetched prefix
 
+# Sharding counters (see repro.sources.shard).  A pushed SQL statement
+# scatters to the shard members its predicates cannot rule out; pruned
+# members are never contacted, failed members degrade to partial answers.
+SHARDS_SCATTERED = "shards_scattered"  # member streams opened by scatter-gather
+SHARDS_PRUNED = "shards_pruned"        # members skipped by per-shard min/max stats
+SHARDS_FAILED = "shards_failed"        # member streams that failed mid-gather
+
 # Server admission counters (see repro.server).  Requests are counted
 # at the service boundary; rejected = typed-error replies for limits,
 # backpressure, protocol violations, and unknown sessions/handles.

@@ -13,10 +13,16 @@ from repro.workloads.customers import (
     build_customers_orders,
 )
 from repro.workloads.auction import AuctionSpec, build_auction
+from repro.workloads.sharded import (
+    ShardedWorkload,
+    build_sharded_customers_orders,
+)
 
 __all__ = [
     "AuctionSpec",
     "CustomersOrdersSpec",
+    "ShardedWorkload",
     "build_auction",
     "build_customers_orders",
+    "build_sharded_customers_orders",
 ]

@@ -1,0 +1,178 @@
+"""The sharded-vs-unsharded differential battery (ISSUE acceptance).
+
+The same logical workload is laid out twice — once behind the single
+:class:`RelationalWrapper`, once horizontally partitioned over k shard
+members — and every query must be observationally identical:
+
+* identical answers at every k in {1, 2, 4, 7}: byte-identical for
+  range partitioning (the ordered gather preserves the key order) and
+  canonically identical — the same records, order-insensitively — for
+  hash partitioning, whose gather is arrival-order by design;
+* equal ``tuples_shipped``: scattering a statement changes *where* rows
+  come from, never how many cross the wire (customer replicas are read
+  once; each order row lives on exactly one member);
+* for range partitioning on the document key, the partitioned document
+  preserves the unsharded child order exactly (ordered gather);
+* killing one member under per-shard resilience degrades to a partial
+  answer with ``<mix:error>`` stubs — never an exception.
+
+``MIX_SHARD_SEED`` (the CI shard-matrix variable) rotates the workload
+shape and therefore the partition balance; every test must pass for any
+seed.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import given, settings, strategies as st
+
+from repro import stats as statnames
+from repro.errors import SourceError
+from repro.resilience import ERROR_LABEL, shard_resilience
+from repro.workloads import (
+    build_customers_orders,
+    build_sharded_customers_orders,
+)
+from repro.xmltree import serialize
+
+#: The CI matrix seed (fixed seeds in .github/workflows/ci.yml).
+SHARD_SEED = int(os.environ.get("MIX_SHARD_SEED", "0"))
+
+#: Member counts: degenerate single shard, even splits, and a prime
+#: that never divides the row counts (uneven partitions).
+SHARD_COUNTS = [1, 2, 4, 7]
+
+LAYOUTS = [("hash", "cid"), ("hash", "orid"), ("range", "orid"),
+           ("range", "value")]
+
+QUERIES = [
+    """
+    FOR $C IN source(root1)/customer
+        $O IN document(root2)/order
+    WHERE $C/id/data() = $O/cid/data()
+    RETURN <CustRec> $C <OrderInfo> $O </OrderInfo> {$O} </CustRec> {$C}
+    """,
+    "FOR $O IN document(root2)/order RETURN $O",
+    """
+    FOR $O IN document(root2)/order
+    WHERE $O/value/data() > 1000
+    RETURN <Big> $O </Big>
+    """,
+]
+
+shapes = st.tuples(
+    st.integers(min_value=2 + SHARD_SEED % 3, max_value=7),
+    st.integers(min_value=1, max_value=3),
+)
+
+
+def answer(built, query):
+    """The serialized top-level records of the query's answer.
+
+    A list (not one string) so callers can compare exactly or as a
+    sorted multiset: hash gathers may reorder top-level records, but
+    never invent, drop, or alter one.
+    """
+    tree = built.mediator().query(query).to_tree()
+    return [serialize(child) for child in tree.children]
+
+
+def reference(n_customers, orders_per, query):
+    built = build_customers_orders(
+        n_customers=n_customers, orders_per_customer=orders_per
+    )
+    return answer(built, query), built.stats.get(statnames.TUPLES_SHIPPED)
+
+
+class TestAnswerEquality:
+    @settings(max_examples=4, deadline=None)
+    @given(shape=shapes, layout=st.sampled_from(LAYOUTS),
+           query=st.sampled_from(QUERIES))
+    def test_every_shard_count_matches_unsharded(self, shape, layout,
+                                                 query):
+        n_customers, orders_per = shape
+        scheme, key = layout
+        want, want_shipped = reference(n_customers, orders_per, query)
+        for shards in SHARD_COUNTS:
+            sw = build_sharded_customers_orders(
+                shards=shards, scheme=scheme, partition_key=key,
+                n_customers=n_customers, orders_per_customer=orders_per,
+            )
+            try:
+                got = answer(sw, query)
+                if scheme == "range" and key == "orid":
+                    # The ordered gather preserves document order: the
+                    # sharded answer is byte-identical.
+                    assert got == want, (shards, scheme, key)
+                else:
+                    assert sorted(got) == sorted(want), (
+                        shards, scheme, key)
+                shipped = sw.stats.get(statnames.TUPLES_SHIPPED)
+                assert shipped == want_shipped, (shards, scheme, key)
+            finally:
+                sw.sharded.close()
+
+
+class TestOrderPreservation:
+    @settings(max_examples=6, deadline=None)
+    @given(shape=shapes, shards=st.sampled_from(SHARD_COUNTS))
+    def test_range_partition_preserves_document_order(self, shape, shards):
+        n_customers, orders_per = shape
+        sw = build_sharded_customers_orders(
+            shards=shards, scheme="range", partition_key="orid",
+            n_customers=n_customers, orders_per_customer=orders_per,
+        )
+        oids = [c.oid for c in sw.sharded.iter_document_children("root2")]
+        assert oids == ["&{}".format(i) for i in
+                        range(n_customers * orders_per)]
+        sw.sharded.close()
+
+    @settings(max_examples=6, deadline=None)
+    @given(shape=shapes, shards=st.sampled_from(SHARD_COUNTS),
+           layout=st.sampled_from(LAYOUTS))
+    def test_order_by_is_exact_at_every_k(self, shape, shards, layout):
+        n_customers, orders_per = shape
+        scheme, key = layout
+        sw = build_sharded_customers_orders(
+            shards=shards, scheme=scheme, partition_key=key,
+            n_customers=n_customers, orders_per_customer=orders_per,
+        )
+        rows = sw.sharded.execute_sql(
+            "SELECT orid, value FROM orders ORDER BY value, orid"
+        ).fetchall()
+        keys = [(value, orid) for orid, value in rows]
+        assert keys == sorted(keys)
+        assert len(rows) == n_customers * orders_per
+        sw.sharded.close()
+
+
+class TestDegradedFleet:
+    @settings(max_examples=4, deadline=None)
+    @given(shape=shapes, victim=st.integers(min_value=0, max_value=3))
+    def test_killing_one_member_degrades_not_fails(self, shape, victim):
+        n_customers, orders_per = shape
+        sw = build_sharded_customers_orders(
+            shards=4, scheme="hash", partition_key="cid",
+            n_customers=n_customers, orders_per_customer=orders_per,
+            member_wrapper=lambda ms: shard_resilience(
+                ms, on_error="degrade"),
+        )
+        victim_member = sw.members[victim].inner
+        dead = len(victim_member.execute_sql(
+            "SELECT orid FROM orders").fetchall())
+
+        def boom(sql):
+            raise SourceError("member down", sql=sql)
+        victim_member.execute_sql = boom
+
+        med = sw.mediator(on_source_error="degrade")
+        text = serialize(med.query(QUERIES[1]).to_tree())
+        total = n_customers * orders_per
+        survivors = text.count("<order")
+        assert survivors == total - dead
+        # The dead member fails its stream even when its slice was
+        # empty: exactly one failure, exactly one stub.
+        assert ERROR_LABEL in text
+        assert sw.stats.get(statnames.SHARDS_FAILED) == 1
+        sw.sharded.close()
