@@ -25,6 +25,13 @@ Commands:
 * ``check-plan`` — compile a query (default: the golden Fig. 22 Q1)
   through translate → Table-2 rewrites → SQL split and run the static
   plan verifier after every stage, printing a per-stage verdict;
+* ``check-rules`` — statically certify the rewrite rule set against the
+  generated plan corpus (schema contracts, termination/confluence,
+  liveness/shadowing, differential answer preservation; see
+  :mod:`repro.analysis.rulecheck`).  ``--rules=module:attr`` appends
+  extension rules loaded from an importable module to the Table-2 set,
+  ``--json`` switches to the machine-readable report; exit status 1
+  means at least one rule failed certification;
 * ``serve``    — run the concurrent mediator server (JSON-lines over
   TCP, see :mod:`repro.server`) over the paper database;
   ``--host``/``--port`` bind the endpoint (default 127.0.0.1:4617),
@@ -581,6 +588,53 @@ def cmd_check_plan(args=()):
     return 0 if report.ok else 1
 
 
+def cmd_check_rules(args=()):
+    """Certify the rewrite rule set against the generated plan corpus.
+
+    Runs :func:`repro.analysis.certify_rules` over the Table-2
+    ``DEFAULT_RULES`` plus any ``--rules=module:attr`` extension set
+    (the attribute must be an iterable of rule objects, e.g.
+    ``--rules=repro.analysis.defect_rules:DEFECT_RULES``).  Prints the
+    per-rule verdicts (``--json`` for the machine-readable report) and
+    exits 1 when any rule fails certification, 2 on unusable arguments.
+    """
+    import importlib
+
+    from repro.analysis import certify_rules
+    from repro.errors import MixError
+
+    args = list(args)
+    as_json = "--json" in args
+    while "--json" in args:
+        args.remove("--json")
+    rules_spec, args = _pop_option(args, "--rules")
+    if args:
+        print("check-rules: unexpected argument {!r}".format(args[0]),
+              file=sys.stderr)
+        return 2
+    extension = ()
+    if rules_spec is not None:
+        module_name, sep, attr = rules_spec.partition(":")
+        if not sep or not module_name or not attr:
+            print("check-rules: --rules expects module:attr, got "
+                  "{!r}".format(rules_spec), file=sys.stderr)
+            return 2
+        try:
+            module = importlib.import_module(module_name)
+            extension = tuple(getattr(module, attr))
+        except (ImportError, AttributeError, TypeError) as exc:
+            print("check-rules: cannot load {!r}: {}".format(
+                rules_spec, exc), file=sys.stderr)
+            return 2
+    try:
+        report = certify_rules(extension_rules=extension)
+    except MixError as exc:
+        print("check-rules: {}".format(exc), file=sys.stderr)
+        return 1
+    print(report.render_json() if as_json else report.render_text())
+    return 0 if report.error_count == 0 else 1
+
+
 def cmd_sql(args=()):
     """A tiny SQL shell against the paper's Fig. 2 database.
 
@@ -767,6 +821,7 @@ def main(argv=None):
         "sql": cmd_sql,
         "lint": cmd_lint,
         "check-plan": cmd_check_plan,
+        "check-rules": cmd_check_rules,
         "serve": cmd_serve,
         "bench-serve": cmd_bench_serve,
     }
@@ -774,11 +829,11 @@ def main(argv=None):
         print(__doc__)
         print("usage: python -m repro"
               " {demo|figures|bench|explain|sql|lint|check-plan"
-              "|serve|bench-serve}"
+              "|check-rules|serve|bench-serve}"
               " [--fault-profile=" + "|".join(FAULT_PROFILES) +
               "] [--fault-seed=N] [--no-cache] [--cache-size=N]"
               " [--no-optimizer] [--block-size=N] [--shards=K] [--analyze]"
-              " [--json] [--strict]"
+              " [--json] [--strict] [--rules=module:attr]"
               " [--host=H] [--port=N] [--clients=N] [--bench-json[=DIR]]")
         return 2
     return commands[argv[0]](argv[1:])

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import re
 
 from repro.errors import PlanError
 from repro.algebra import operators as ops
@@ -205,3 +207,37 @@ def replace_operator(plan, target, replacement):
         if new_nested is not plan.plan:
             node = node.with_nested_plan(new_nested)
     return node
+
+
+_VAR_TOKEN = re.compile(r"\$[A-Za-z0-9_]+")
+
+
+def canonical_plan_text(plan):
+    """The rendered plan with variables alpha-renamed by first occurrence.
+
+    Two plans that differ only in variable *names* (e.g. the same rule
+    sequence replayed with a fresh :class:`VarFactory`) canonicalize to
+    the same text; any structural difference survives.
+    """
+    from repro.algebra.printer import render_plan
+
+    mapping = {}
+
+    def canon(match):
+        var = match.group(0)
+        if var not in mapping:
+            mapping[var] = "$g{}".format(len(mapping))
+        return mapping[var]
+
+    return _VAR_TOKEN.sub(canon, render_plan(plan))
+
+
+def plan_fingerprint(plan):
+    """A short stable fingerprint of a plan's structure.
+
+    Alpha-renaming-invariant (see :func:`canonical_plan_text`), so the
+    rewrite engine's cycle detector is not fooled by rules that mint
+    fresh variable names on every application.
+    """
+    text = canonical_plan_text(plan)
+    return hashlib.sha1(text.encode("utf-8")).hexdigest()[:12]

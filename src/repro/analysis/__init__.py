@@ -42,6 +42,12 @@ from repro.analysis.pipeline import (
     StageReport,
     verify_query_pipeline,
 )
+from repro.analysis.rulecheck import (
+    RuleCheckReport,
+    RuleReport,
+    certify_rules,
+    generate_corpus,
+)
 from repro.analysis.verifier import (
     assert_plan_verifies,
     infer_schema,
@@ -55,11 +61,15 @@ __all__ = [
     "ERROR",
     "INFO",
     "PipelineReport",
+    "RuleCheckReport",
+    "RuleReport",
     "Span",
     "StageReport",
     "WARNING",
     "assert_plan_verifies",
     "catalog_schemas",
+    "certify_rules",
+    "generate_corpus",
     "has_errors",
     "infer_schema",
     "lint_query",

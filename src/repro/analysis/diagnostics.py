@@ -50,6 +50,11 @@ CODES = {
                         " bound by neither input"),
     "MIX-E011": (ERROR, "block pipeline diverges from tuple-at-a-time"
                         " execution (dropped or corrupted binding)"),
+    # -- rule certifier (repro.analysis.rulecheck) ---------------------
+    "MIX-E012": (ERROR, "rewrite rule breaks its declared schema"
+                        " contract (or diverges on answers)"),
+    "MIX-E013": (ERROR, "rewrite rule set does not terminate (plan"
+                        " fingerprint cycle or step divergence)"),
     # -- schema-aware XQuery linter ------------------------------------
     "MIX-W001": (WARNING, "dead path expression: the path can never"
                           " match the source schema"),
@@ -61,6 +66,11 @@ CODES = {
     "MIX-W005": (WARNING, "query references an unknown document"),
     "MIX-W006": (WARNING, "comparison on a path that is not a leaf"
                           " (missing data()?)"),
+    # -- rule certifier (repro.analysis.rulecheck) ---------------------
+    "MIX-W007": (WARNING, "rewrite rule never fires on the certification"
+                          " corpus (dead rule)"),
+    "MIX-W008": (WARNING, "rewrite rule is shadowed by an earlier rule"
+                          " at every site it matches"),
 }
 
 

@@ -30,14 +30,20 @@ from repro.rewriter import push_to_sources
 
 
 class StageReport:
-    """One pipeline stage: its name, output plan, and findings."""
+    """One pipeline stage: its name, output plan, and findings.
 
-    __slots__ = ("name", "plan", "diagnostics")
+    ``rule`` is the rewrite rule that produced this stage's plan (the
+    provenance key of rewrite stages), ``None`` for the non-rewrite
+    stages (``translate``, ``sql-split``, ``block-pipeline``).
+    """
 
-    def __init__(self, name, plan, diagnostics):
+    __slots__ = ("name", "plan", "diagnostics", "rule")
+
+    def __init__(self, name, plan, diagnostics, rule=None):
         self.name = name
         self.plan = plan
         self.diagnostics = list(diagnostics)
+        self.rule = rule
 
     @property
     def ok(self) -> bool:
@@ -92,6 +98,7 @@ class PipelineReport:
                     " {} {}".format(stage.name, first.code, first.message),
                     diagnostics=stage.diagnostics,
                     stage=stage.name,
+                    rule=stage.rule,
                 )
         return self
 
@@ -143,6 +150,7 @@ def verify_query_pipeline(mediator, query_text, source=None,
                         step.plan, catalog=catalog, stage=stage_name,
                         source=source,
                     ),
+                    rule=step.rule_name,
                 )
             )
     if mediator.push_sql:

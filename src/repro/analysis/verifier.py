@@ -49,12 +49,15 @@ def verify_plan(plan, catalog=None, stage=None, source=None):
     return walker.diagnostics
 
 
-def assert_plan_verifies(plan, catalog=None, stage=None, source=None):
+def assert_plan_verifies(plan, catalog=None, stage=None, source=None,
+                         rule=None):
     """Like :func:`verify_plan` but raises on errors.
 
     Raises :class:`repro.errors.PlanVerificationError` carrying the
     diagnostics when any finding has severity ``error``; returns the
-    (possibly empty) diagnostics list otherwise.
+    (possibly empty) diagnostics list otherwise.  ``rule`` names the
+    rewrite rule whose output is being checked (rewrite stages only);
+    it travels on the raised error for provenance.
     """
     diagnostics = verify_plan(
         plan, catalog=catalog, stage=stage, source=source
@@ -63,12 +66,14 @@ def assert_plan_verifies(plan, catalog=None, stage=None, source=None):
     if errors:
         first = errors[0]
         where = " after stage {!r}".format(stage) if stage else ""
+        blame = " (rule {!r})".format(rule) if rule else ""
         raise PlanVerificationError(
-            "plan verification failed{}: {} {}".format(
-                where, first.code, first.message
+            "plan verification failed{}{}: {} {}".format(
+                where, blame, first.code, first.message
             ),
             diagnostics=diagnostics,
             stage=stage,
+            rule=rule,
         )
     return diagnostics
 

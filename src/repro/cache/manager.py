@@ -78,19 +78,24 @@ class CacheManager:
     # -- plan cache --------------------------------------------------------------------
 
     def lookup_plan(self, key):
-        """``(hit, (exec_plan, compose_plan, verified_stages))``.
+        """``(hit, (exec_plan, compose_plan, verified_stages,
+        rewrite_rules))``.
 
         ``verified_stages`` is the static-verifier stage count recorded
         when the plan was compiled under ``Mediator(strict=True)``, or
         ``None`` for unverified plans — hits reuse it instead of
-        re-verifying.
+        re-verifying.  ``rewrite_rules`` is the fired-rule-name sequence
+        of the compile-time rewrite, so EXPLAIN's ``-- rewrite:``
+        provenance survives a warm hit (which skips the rewrite).
         """
         return self.plan_cache.lookup(key)
 
     def store_plan(self, key, exec_plan, compose_plan,
-                   verified_stages=None):
+                   verified_stages=None, rewrite_rules=()):
         self.plan_cache.store(
-            key, (exec_plan, compose_plan, verified_stages)
+            key,
+            (exec_plan, compose_plan, verified_stages,
+             tuple(rewrite_rules)),
         )
 
     # -- navigation memo --------------------------------------------------------------

@@ -85,13 +85,18 @@ class PlanVerificationError(PlanError):
         diagnostics: the :class:`repro.analysis.Diagnostic` findings that
             caused the rejection (at least one has severity ``error``).
         stage: the pipeline stage whose output failed (``translate``, a
-            rewrite rule name, ``sql-split``, ...), when known.
+            rewrite stage, ``sql-split``, ...), when known.
+        rule: for rewrite stages, the name of the rewrite rule whose
+            output failed verification (``None`` for non-rewrite
+            stages) — the handle tooling uses to attribute a broken
+            plan to the rule that broke it.
     """
 
-    def __init__(self, message, diagnostics=(), stage=None):
+    def __init__(self, message, diagnostics=(), stage=None, rule=None):
         super().__init__(message)
         self.diagnostics = list(diagnostics)
         self.stage = stage
+        self.rule = rule
 
 
 class EvaluationError(MixError):
@@ -104,7 +109,40 @@ class NavigationError(MixError):
 
 
 class RewriteError(MixError):
-    """A rewrite rule produced or was applied to an inconsistent plan."""
+    """A rewrite rule produced or was applied to an inconsistent plan,
+    or the fixpoint driver failed to terminate.
+
+    Attributes:
+        steps: the last-k :class:`~repro.rewriter.engine.RewriteStep`\\ s
+            before the failure (rule names + plan fingerprints), so a
+            non-terminating rule set names its offenders instead of
+            dying opaquely.  Empty for registration-time errors.
+        code: the stable diagnostic code (``MIX-E013`` for termination
+            failures), or ``None``.
+        kind: ``"cycle"`` (a plan fingerprint recurred), ``"divergence"``
+            (``max_steps`` exceeded without a detected cycle), or
+            ``None`` for other rewrite errors.
+    """
+
+    def __init__(self, message, steps=(), code=None, kind=None):
+        super().__init__(message)
+        self.steps = list(steps)
+        self.code = code
+        self.kind = kind
+
+
+class RuleCertificationError(MixError):
+    """A strict mediator refused an extension rule that failed static
+    certification (:func:`repro.analysis.certify_rules`).
+
+    Attributes:
+        diagnostics: the error-severity :class:`repro.analysis.Diagnostic`
+            findings, each naming the offending rule.
+    """
+
+    def __init__(self, message, diagnostics=()):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
 
 
 class CompositionError(MixError):

@@ -95,6 +95,9 @@ def explain_analyze_with_trace(mediator, query_text, mask_times=False):
     # consulted exactly as a client query would (and the footer can
     # say whether compilation was skipped).
     exec_plan, __, plan_status = mediator.prepare(query_text)
+    rewrite_rules = tuple(
+        getattr(mediator, "last_rewrite_rules", ()) or ()
+    )
     verify_report = _verify_report(mediator, query_text)
     policy = getattr(mediator, "on_source_error", "raise")
     before = _resilience_snapshot(mediator.catalog)
@@ -133,6 +136,12 @@ def explain_analyze_with_trace(mediator, query_text, mask_times=False):
             shard_before, _shard_snapshot(mediator.catalog)
         )
         instrument.event("cache", "plan_cache={}".format(plan_status))
+        for name, count in _rule_steps(rewrite_rules):
+            # Inside the command span: JSON traces carry the rewrite
+            # provenance alongside the cache and verify summaries.
+            instrument.event(
+                "rewrite", "rule={} steps={}".format(name, count)
+            )
         if verify_report is not None:
             # Inside the command span: `explain --json` traces carry the
             # static-verification verdict alongside the cache summary.
@@ -190,6 +199,11 @@ def explain_analyze_with_trace(mediator, query_text, mask_times=False):
                 instrument.get("prefetch_hits"),
             )
         )
+    for name, count in _rule_steps(rewrite_rules):
+        # Only when the rewrite fired at all: queries whose plans are
+        # already in normal form (the seed's goldens among them) keep
+        # their byte-identical footers.
+        footer += "\n-- rewrite: rule={} steps={}".format(name, count)
     footer += "\n-- plan_cache: {}".format(plan_status)
     if verify_report is not None:
         footer += "\n-- verified: {}".format(_verify_summary(verify_report))
@@ -216,6 +230,18 @@ def explain_analyze_with_trace(mediator, query_text, mask_times=False):
             )
         )
     return text + "\n" + footer, instrument.last_trace(), exec_plan
+
+
+def _rule_steps(rewrite_rules):
+    """``(rule_name, fire_count)`` pairs in first-fired order."""
+    order = []
+    counts = {}
+    for name in rewrite_rules:
+        if name not in counts:
+            order.append(name)
+            counts[name] = 0
+        counts[name] += 1
+    return [(name, counts[name]) for name in order]
 
 
 def _verify_report(mediator, query_text):

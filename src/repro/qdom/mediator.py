@@ -78,12 +78,28 @@ class Mediator:
             pin this).  Sources added through :meth:`add_source` that
             support ``set_block_size`` batch their row fetches to the
             same width.
+        extension_rules: extra rewrite rules registered *after* the
+            Table-2 set (registration order is application priority;
+            see :class:`repro.rewriter.Rewriter`).  Each rule must
+            satisfy the registration contract of
+            :mod:`repro.rewriter.rule` — a nonempty unique ``name``, a
+            declared ``schema_contract``, an ``apply`` method.  Under
+            ``strict=True`` the bar is higher: every extension rule
+            must carry full explicit certification metadata *and* pass
+            the static rule certifier
+            (:func:`repro.analysis.certify_rules` — schema contract,
+            termination against the whole rule set, liveness/shadowing,
+            differential answer preservation) before the mediator will
+            construct; a refused rule raises
+            :class:`~repro.errors.RuleCertificationError` naming the
+            findings.
     """
 
     def __init__(self, catalog=None, stats=None, optimize=True,
                  push_sql=True, lazy=True, dedup_groups=False,
                  on_source_error="raise", cache=False, cache_size=128,
-                 cost_optimizer=True, strict=False, block_size=None):
+                 cost_optimizer=True, strict=False, block_size=None,
+                 extension_rules=None):
         if on_source_error not in ("raise", "degrade"):
             raise ValueError(
                 "on_source_error must be 'raise' or 'degrade', "
@@ -121,11 +137,53 @@ class Mediator:
             self.cache = None
         self._translator = Translator(dedup_groups=dedup_groups)
         self._rewriter = Rewriter()
+        #: Rule-name sequence fired while compiling the most recent
+        #: plan (restored from the plan cache on a warm hit, so
+        #: EXPLAIN's ``-- rewrite:`` provenance survives skipped
+        #: compilation); ``()`` when nothing fired.
+        self.last_rewrite_rules = ()
+        if extension_rules:
+            self._register_extension_rules(tuple(extension_rules))
         self._view_ids = itertools.count(1)
         self._views = {}  # view name -> tD-rooted plan
         self._views_epoch = 0  # bumped by define_view; part of plan keys
 
     # -- configuration ------------------------------------------------------------
+
+    def _register_extension_rules(self, rules):
+        """Register extension rewrite rules, certifying under strict mode.
+
+        Non-strict mediators only enforce the registration contract
+        (done by :meth:`Rewriter.register` itself).  Strict mediators
+        additionally refuse rules without full explicit certification
+        metadata and rules the static certifier rejects — an uncertified
+        rule must never touch a strict mediator's plans.
+        """
+        if self.strict:
+            from repro.analysis.rulecheck import certify_rules
+            from repro.errors import RuleCertificationError
+            from repro.rewriter.rule import is_certifiable, rule_name
+
+            for rule in rules:
+                if not is_certifiable(rule):
+                    raise RuleCertificationError(
+                        "strict mediator refuses extension rule {!r}: "
+                        "missing explicit certification metadata (name, "
+                        "schema_contract, set_semantics)".format(rule)
+                    )
+            focus = [rule_name(r) for r in rules]
+            report = certify_rules(extension_rules=rules, focus=focus)
+            errors = [d for d in report.diagnostics if d.is_error]
+            if errors:
+                raise RuleCertificationError(
+                    "strict mediator refuses uncertified extension "
+                    "rule(s): {}".format(
+                        "; ".join(d.render() for d in errors[:3])
+                    ),
+                    diagnostics=errors,
+                )
+        for rule in rules:
+            self._rewriter.register(rule)
 
     def add_source(self, source):
         """Register a wrapped source (all its documents).
@@ -330,9 +388,11 @@ class Mediator:
         if key is not None:
             hit, cached = self.cache.lookup_plan(key)
             if hit:
-                # Verification is cached with the plan: a warm hit
-                # reuses the stored stage count instead of re-verifying.
+                # Verification and rewrite provenance are cached with
+                # the plan: a warm hit reuses the stored stage count
+                # and fired-rule names instead of recompiling.
                 self.last_verified_stages = cached[2]
+                self.last_rewrite_rules = cached[3]
                 return cached[0], cached[1], "hit"
         plan = self.translate(query_text)
         plan = self._expand_views(plan)
@@ -348,6 +408,7 @@ class Mediator:
             self.cache.store_plan(
                 key, exec_plan, compose_plan,
                 verified_stages=verified_stages,
+                rewrite_rules=self.last_rewrite_rules,
             )
             return exec_plan, compose_plan, "miss"
         return exec_plan, compose_plan, "off"
@@ -374,6 +435,7 @@ class Mediator:
                 assert_plan_verifies(
                     step.plan, catalog=self.catalog,
                     stage="rewrite[{}]".format(step.rule_name),
+                    rule=step.rule_name,
                 )
                 stages += 1
             if self.push_sql:
@@ -409,6 +471,9 @@ class Mediator:
         if self.optimize:
             with self.obs.timer("rewrite"):
                 plan = self._rewriter.rewrite(plan, trace=trace)
+            self.last_rewrite_rules = self._rewriter.last_rule_names
+        else:
+            self.last_rewrite_rules = ()
         compose_plan = plan
         if self.push_sql:
             with self.obs.timer("push_sql"):

@@ -26,7 +26,16 @@ paper's Figures 13 through 21.
 """
 
 from repro.rewriter.engine import Rewriter, RewriteStep
+from repro.rewriter.rule import Rule, RuleResult, SCHEMA_CONTRACTS
 from repro.rewriter.rules import DEFAULT_RULES
 from repro.rewriter.sql_split import push_to_sources
 
-__all__ = ["DEFAULT_RULES", "RewriteStep", "Rewriter", "push_to_sources"]
+__all__ = [
+    "DEFAULT_RULES",
+    "RewriteStep",
+    "Rewriter",
+    "Rule",
+    "RuleResult",
+    "SCHEMA_CONTRACTS",
+    "push_to_sources",
+]

@@ -7,6 +7,27 @@ walks the plan, applies the first matching (rule, node) pair, performs
 the local replacement plus the global renaming, records the step, and
 repeats until no rule matches.
 
+Rules are first-class registrable objects (:mod:`repro.rewriter.rule`):
+:meth:`Rewriter.register` appends a validated rule to the priority
+order, rejecting duplicate names and filtering set-semantics-only rules
+when the rewriter runs in multiset mode.
+
+Two engine-level behaviors matter for cost and debuggability:
+
+* **Resume scan** — after a rule fires at pre-order position ``i``, the
+  next scan resumes at ``i`` instead of restarting from the root
+  (replacements are local, so positions before ``i`` keep their nodes).
+  A fire can *enable* a match at an earlier position (a child collapsed
+  to ``Empty``, a rename identified two variables), so a clean tail is
+  confirmed by one full pass from the root before the fixpoint is
+  declared — the result is always a true fixpoint of the rule set.
+* **Cycle detection** — every step's plan is fingerprinted
+  (:func:`repro.algebra.plan.plan_fingerprint`, alpha-renaming
+  invariant); a recurring fingerprint raises
+  :class:`~repro.errors.RewriteError` with ``code="MIX-E013"`` and the
+  last-k steps attached, naming the cycling rules instead of spinning
+  until ``max_steps``.
+
 The recorded :class:`RewriteStep` sequence is what regenerates the
 paper's Figures 13-21 (each step shows the rule fired and the plan after
 it).
@@ -14,22 +35,34 @@ it).
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.errors import RewriteError
-from repro.algebra import operators as ops
-from repro.algebra.plan import iter_operators, rename_vars, replace_operator
+from repro.algebra.plan import (
+    iter_operators,
+    plan_fingerprint,
+    rename_vars,
+    replace_operator,
+)
 from repro.algebra.printer import render_plan
 from repro.rewriter.context import RewriteContext
-from repro.rewriter.rules import DEFAULT_RULES, SET_SEMANTICS_RULES
+from repro.rewriter.rule import is_set_semantics, rule_name, validate_rule
+from repro.rewriter.rules import DEFAULT_RULES
+
+#: How many trailing steps a non-terminating rewrite attaches to its
+#: :class:`~repro.errors.RewriteError`.
+KEEP_STEPS = 8
 
 
 class RewriteStep:
     """One recorded rule application."""
 
-    __slots__ = ("rule_name", "plan")
+    __slots__ = ("rule_name", "plan", "fingerprint")
 
-    def __init__(self, rule_name, plan):
+    def __init__(self, rule_name, plan, fingerprint=None):
         self.rule_name = rule_name
         self.plan = plan
+        self.fingerprint = fingerprint
 
     def render(self):
         return "-- after {} --\n{}".format(
@@ -38,59 +71,170 @@ class RewriteStep:
 
 
 class Rewriter:
-    """Applies Table-2 rewriting to composed plans.
+    """Applies a registered rule set to composed plans, to a fixpoint.
 
     Args:
-        rules: the rule objects to use (default: the full Table-2 set).
+        rules: the initial rule objects, registered in order (default:
+            the full Table-2 set).  Registration order is application
+            priority: at each step the first matching (node, rule) pair
+            in (pre-order position, registration order) wins.
         set_semantics: include rules sound only under the paper's
-            set-based algebra (currently join→semijoin).  With ``False``
-            every rewrite preserves exact multiset results, which the
-            property tests rely on.
+            set-based algebra (``rule.set_semantics`` is ``True``,
+            currently join→semijoin).  With ``False`` such rules are
+            *silently skipped at registration* — including extension
+            rules registered later — so every rewrite preserves exact
+            multiset results, which the property tests rely on.
         max_steps: safety bound on rule applications.
+        resume_scan: resume scanning near the last replacement instead
+            of restarting from the root after every fire (see module
+            docstring).  ``False`` reproduces the seed's
+            O(steps·nodes·rules) restart behavior; the fixpoints are
+            identical either way.
     """
 
-    def __init__(self, rules=None, set_semantics=True, max_steps=2000):
+    def __init__(self, rules=None, set_semantics=True, max_steps=2000,
+                 resume_scan=True):
+        self.set_semantics = set_semantics
+        self.max_steps = max_steps
+        self.resume_scan = resume_scan
+        self.rules = ()
+        #: Rule names fired by the most recent :meth:`rewrite`, in
+        #: order (EXPLAIN's ``-- rewrite:`` provenance reads this).
+        self.last_rule_names = ()
+        #: ``rule.apply`` probe count of the most recent rewrite (the
+        #: resume-scan tests assert this drops against restart mode).
+        self.last_probes = 0
         if rules is None:
             rules = DEFAULT_RULES
-        if not set_semantics:
-            rules = tuple(
-                r for r in rules if not isinstance(r, SET_SEMANTICS_RULES)
+        for rule in rules:
+            self.register(rule)
+
+    def register(self, rule):
+        """Append ``rule`` to the priority order; returns ``self``.
+
+        Validates the registration contract
+        (:func:`repro.rewriter.rule.validate_rule`) and rejects
+        duplicate names — rule names are the provenance key in EXPLAIN
+        and the per-stage verifier, so they must be unambiguous within
+        one rewriter.  Set-semantics-only rules are skipped when the
+        rewriter was built with ``set_semantics=False``.
+        """
+        validate_rule(rule)
+        if is_set_semantics(rule) and not self.set_semantics:
+            return self
+        name = rule_name(rule)
+        if any(rule_name(r) == name for r in self.rules):
+            raise RewriteError(
+                "duplicate rule name {!r}: already registered".format(name)
             )
-        self.rules = tuple(rules)
-        self.max_steps = max_steps
+        self.rules = self.rules + (rule,)
+        return self
 
     def rewrite(self, plan, trace=None):
         """Rewrite ``plan`` to a fixpoint; returns the optimized plan.
 
         Pass a list as ``trace`` to collect :class:`RewriteStep`\\ s.
+        Raises :class:`~repro.errors.RewriteError` (``code="MIX-E013"``,
+        last-k steps attached) when the rule set cycles or exceeds
+        ``max_steps``.
         """
         steps = 0
+        start = 0
+        seen = {plan_fingerprint(plan): 0}
+        recent = deque(maxlen=KEEP_STEPS)
+        fired_names = []
+        self.last_probes = 0
         while True:
-            fired = self._apply_one(plan)
+            fired = self._apply_one(plan, start)
             if fired is None:
-                return plan
-            plan, rule_name = fired
-            if trace is not None:
-                trace.append(RewriteStep(rule_name, plan))
+                if start == 0:
+                    break
+                # Clean tail under resume scan: confirm the fixpoint
+                # with one full pass (a fire may have enabled a match
+                # at an earlier pre-order position).
+                start = 0
+                continue
+            plan, name, index = fired
+            start = index if self.resume_scan else 0
             steps += 1
+            fingerprint = plan_fingerprint(plan)
+            step = RewriteStep(name, plan, fingerprint)
+            recent.append(step)
+            fired_names.append(name)
+            if trace is not None:
+                trace.append(step)
+            previous = seen.get(fingerprint)
+            if previous is not None:
+                # Attach only the cycle segment (steps after the first
+                # occurrence of the recurring fingerprint): steps fired
+                # before the loop closed are innocent bystanders and
+                # must not be blamed by the certifier.
+                first_kept = steps - len(recent) + 1
+                cycle = [
+                    s for i, s in enumerate(recent)
+                    if first_kept + i > previous
+                ] or list(recent)
+                raise self._termination_error(
+                    "rule cycle: plan fingerprint {} recurred at step {} "
+                    "(first seen at step {})".format(
+                        fingerprint, steps, previous
+                    ),
+                    cycle, kind="cycle",
+                )
+            seen[fingerprint] = steps
             if steps > self.max_steps:
-                raise RewriteError(
+                raise self._termination_error(
                     "rewriting did not converge within {} steps".format(
                         self.max_steps
-                    )
+                    ),
+                    recent, kind="divergence",
                 )
+        self.last_rule_names = tuple(fired_names)
+        return plan
 
-    def _apply_one(self, plan):
+    def _termination_error(self, reason, recent, kind):
+        involved = []
+        for step in recent:
+            if step.rule_name not in involved:
+                involved.append(step.rule_name)
+        return RewriteError(
+            "MIX-E013 {} [last {} steps: {}]".format(
+                reason,
+                len(recent),
+                " -> ".join(
+                    "{}#{}".format(s.rule_name, s.fingerprint)
+                    for s in recent
+                ) or "-",
+            ),
+            steps=list(recent),
+            code="MIX-E013",
+            kind=kind,
+        )
+
+    def _apply_one(self, plan, start=0):
+        """The first (node, rule) match at pre-order position >= ``start``.
+
+        Returns ``(new_plan, rule_name, index)`` or ``None``.  Positions
+        are stable across a local replacement — every node before the
+        fired index keeps its pre-order slot — so the driver can resume
+        where it left off.
+        """
         ctx = RewriteContext(plan)
-        for node in iter_operators(plan):
+        probes = 0
+        for index, node in enumerate(iter_operators(plan)):
+            if index < start:
+                continue
             for rule in self.rules:
+                probes += 1
                 result = rule.apply(node, ctx)
                 if result is None:
                     continue
+                self.last_probes += probes
                 new_plan = replace_operator(plan, node, result.replacement)
                 if result.rename:
                     new_plan = rename_vars(new_plan, result.rename)
-                return new_plan, rule.name
+                return new_plan, rule_name(rule), index
+        self.last_probes += probes
         return None
 
 

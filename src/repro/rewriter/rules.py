@@ -43,18 +43,15 @@ from repro.algebra.plan import (
     rename_vars,
     replace_operator,
 )
+from repro.rewriter.rule import Rule, RuleResult
 from repro.xmltree.paths import Path, Step
 
-
-class RuleResult:
-    """A successful rule application."""
-
-    __slots__ = ("replacement", "rename")
-
-    def __init__(self, replacement, rename=None):
-        self.replacement = replacement
-        self.rename = rename or {}
-
+__all__ = [
+    "ComposeMkSrcTD", "DEFAULT_RULES", "DeadOperatorElimination",
+    "EmptyPropagation", "GetDIntoApply", "GetDPushdown", "GetDThroughCat",
+    "GetDThroughCrElt", "JoinToSemiJoin", "Rule", "RuleResult",
+    "SET_SEMANTICS_RULES", "SelectPushdown", "SemiJoinBelowGroupBy",
+]
 
 LIST_STEP = Step(Step.LABEL, "list")
 
@@ -73,11 +70,12 @@ def _empty_for(node):
     return ops.Empty(variables or ())
 
 
-class ComposeMkSrcTD:
+class ComposeMkSrcTD(Rule):
     """Table 2, row 11: ``mksrc(viewid, $X)`` over ``tD($1, viewid)``
     collapses to the view body with ``$X`` identified with ``$1``."""
 
     name = "compose-mksrc-tD (rule 11)"
+    schema_contract = "widen"  # the view body's variables surface
 
     def apply(self, node, ctx):
         if not isinstance(node, ops.MkSrc) or node.input is None:
@@ -89,11 +87,12 @@ class ComposeMkSrcTD:
         return RuleResult(td.input, rename)
 
 
-class GetDThroughCrElt:
+class GetDThroughCrElt(Rule):
     """Table 2, rows 1-4: match a ``getD`` path against the ``crElt``
     that constructs its input variable's elements."""
 
     name = "getD-through-crElt (rules 1-4)"
+    schema_contract = "preserve"
 
     def apply(self, node, ctx):
         if not isinstance(node, ops.GetD):
@@ -129,11 +128,12 @@ class GetDThroughCrElt:
         return RuleResult(crelt.with_children((pushed,)))
 
 
-class GetDThroughCat:
+class GetDThroughCat(Rule):
     """Table 2, rows 5-8: resolve a ``getD`` over a concatenation by
     deciding statically which operand's elements can match the path."""
 
     name = "getD-through-cat (rules 5-8)"
+    schema_contract = "preserve"
 
     def apply(self, node, ctx):
         if not isinstance(node, ops.GetD):
@@ -174,7 +174,7 @@ class GetDThroughCat:
         return RuleResult(cat.with_children((pushed,)))
 
 
-class GetDIntoApply:
+class GetDIntoApply(Rule):
     """Table 2, row 9: push a ``getD`` over an ``apply``'d nested plan by
     joining a renamed copy of the group's input on the group variables.
 
@@ -185,6 +185,7 @@ class GetDIntoApply:
     """
 
     name = "getD-into-apply (rule 9)"
+    schema_contract = "widen"  # adds the renamed copy branch
 
     def apply(self, node, ctx):
         if not isinstance(node, ops.GetD):
@@ -232,11 +233,12 @@ def _inline_nested(nested_body, inp_var, group_input):
     return body
 
 
-class GetDPushdown:
+class GetDPushdown(Rule):
     """Commute a ``getD`` below operators it does not interact with, and
     into the join/semijoin branch that defines its input variable."""
 
     name = "getD-pushdown"
+    schema_contract = "preserve"
 
     def apply(self, node, ctx):
         if not isinstance(node, ops.GetD):
@@ -283,10 +285,11 @@ class GetDPushdown:
         return None
 
 
-class SelectPushdown:
+class SelectPushdown(Rule):
     """Push selections down as far as possible (Fig. 19)."""
 
     name = "select-pushdown"
+    schema_contract = "preserve"
 
     def apply(self, node, ctx):
         if not isinstance(node, ops.Select):
@@ -336,7 +339,7 @@ class SelectPushdown:
         return None
 
 
-class JoinToSemiJoin:
+class JoinToSemiJoin(Rule):
     """Live-variable analysis: a join whose one side's bindings feed
     nothing downstream becomes a semijoin (Fig. 20).
 
@@ -345,6 +348,8 @@ class JoinToSemiJoin:
     """
 
     name = "join-to-semijoin (live variables)"
+    schema_contract = "narrow"  # drops the probe side's bindings
+    set_semantics = True
 
     def apply(self, node, ctx):
         if not isinstance(node, ops.Join):
@@ -367,11 +372,12 @@ class JoinToSemiJoin:
         return None
 
 
-class SemiJoinBelowGroupBy:
+class SemiJoinBelowGroupBy(Rule):
     """Table 2, row 12: push a semijoin on the group variables below the
     ``apply``/``gBy`` pair so it can reach the source (Fig. 21)."""
 
     name = "semijoin-below-gBy (rule 12)"
+    schema_contract = "preserve"
 
     def apply(self, node, ctx):
         if not isinstance(node, ops.SemiJoin):
@@ -399,10 +405,11 @@ class SemiJoinBelowGroupBy:
         return RuleResult(kept.with_children((new_gby,)))
 
 
-class EmptyPropagation:
+class EmptyPropagation(Rule):
     """Propagate ``Empty`` upward (consequence of rule 4)."""
 
     name = "empty-propagation"
+    schema_contract = "preserve"
 
     def apply(self, node, ctx):
         if isinstance(node, (ops.Empty, ops.TD)):
@@ -421,10 +428,11 @@ class EmptyPropagation:
         return None
 
 
-class DeadOperatorElimination:
+class DeadOperatorElimination(Rule):
     """Remove one-to-one operators whose output variable is dead."""
 
     name = "dead-operator-elimination"
+    schema_contract = "narrow"  # removes the dead output binding
 
     _ONE_TO_ONE = (ops.CrElt, ops.Cat, ops.Apply)
 

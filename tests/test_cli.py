@@ -150,3 +150,51 @@ class TestAnalysisCli:
         main([])
         out = capsys.readouterr().out
         assert "lint" in out and "check-plan" in out
+
+
+class TestCheckRulesCli:
+    def test_default_rules_certify_clean(self, capsys):
+        assert main(["check-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "rule-certification: 10 rules" in out
+        assert "0 errors" in out and "0 warnings" in out
+        assert "FAIL" not in out
+
+    def test_defect_rules_fail_with_expected_codes(self, capsys):
+        assert main(
+            ["check-rules",
+             "--rules=repro.analysis.defect_rules:DEFECT_RULES"]
+        ) == 1
+        out = capsys.readouterr().out
+        for code in ("MIX-E012", "MIX-E013", "MIX-W007", "MIX-W008"):
+            assert code in out, code
+        assert "defect-drop-binding" in out
+
+    def test_json_report(self, capsys):
+        import json
+
+        assert main(
+            ["check-rules", "--json",
+             "--rules=repro.analysis.defect_rules:DEFECT_RULES"]
+        ) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        by_name = {r["name"]: r for r in payload["rules"]}
+        assert by_name["defect-drop-select"]["differential_fired"] is True
+        assert not by_name["defect-flip-flop"]["certified"]
+        assert by_name["select-pushdown"]["certified"]
+
+    def test_bad_rules_spec_is_usage_error(self, capsys):
+        assert main(["check-rules", "--rules=nocolon"]) == 2
+        assert "module:attr" in capsys.readouterr().err
+
+    def test_unimportable_rules_module(self, capsys):
+        assert main(["check-rules", "--rules=no.such.module:RULES"]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_unexpected_argument(self, capsys):
+        assert main(["check-rules", "extra"]) == 2
+
+    def test_usage_lists_check_rules(self, capsys):
+        main([])
+        assert "check-rules" in capsys.readouterr().out
